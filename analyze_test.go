@@ -1,0 +1,79 @@
+package semicont
+
+import "testing"
+
+func TestAnalyzeBracketsSimulation(t *testing.T) {
+	// The no-sharing / complete-sharing bracket must contain the
+	// simulated P1 utilization across demand skews (the whole point of
+	// the analytical cross-check).
+	for _, theta := range []float64{-1.5, -0.5, 0.5, 1} {
+		sc := Scenario{
+			System:       SmallSystem(),
+			Policy:       PolicyP1(),
+			Theta:        theta,
+			HorizonHours: 40,
+			Seed:         1,
+		}
+		a, err := Analyze(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NoSharing > a.CompleteSharing+1e-9 {
+			t.Errorf("theta=%g: bracket inverted (%v > %v)", theta, a.NoSharing, a.CompleteSharing)
+		}
+		if a.FixedPoint > a.CompleteSharing+1e-9 {
+			t.Errorf("theta=%g: fixed point %v above the sharing ceiling %v", theta, a.FixedPoint, a.CompleteSharing)
+		}
+		// Generous slack: 40 h trials are noisy and the bracket is
+		// heuristic at its lower end.
+		if sim.Utilization < a.NoSharing-0.05 || sim.Utilization > a.CompleteSharing+0.02 {
+			t.Errorf("theta=%g: sim %v outside bracket [%v, %v]",
+				theta, sim.Utilization, a.NoSharing, a.CompleteSharing)
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	sc := Scenario{System: SmallSystem(), Policy: PolicyP1(), Theta: 0.271, HorizonHours: 1, Seed: 9}
+	a, err := Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("Analyze not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	bad := Scenario{System: SmallSystem(), Policy: PolicyP1(), HorizonHours: -1}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestAnalyzeSingleServerMatchesErlang(t *testing.T) {
+	// For one server the three estimates coincide, matching the E-SVBR
+	// experiment's analytic curve.
+	sc := Scenario{
+		System:       SingleServer(33),
+		Policy:       PolicyP1(),
+		Theta:        1,
+		HorizonHours: 1,
+		Seed:         1,
+	}
+	a, err := Analyze(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(a.NoSharing, a.CompleteSharing, 1e-9) || !approxEq(a.FixedPoint, a.CompleteSharing, 1e-9) {
+		t.Errorf("single-server estimates disagree: %+v", a)
+	}
+}

@@ -1,0 +1,223 @@
+// Benchmarks: one per paper table/figure (regenerating a scaled-down
+// version of each experiment) plus micro-benchmarks of the simulator's
+// hot paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks use a reduced horizon (2 simulated hours, one
+// trial, three θ points) so the suite completes in minutes; the shapes
+// they exercise are the same ones cmd/paperfigs reproduces at full
+// scale.
+package semicont_test
+
+import (
+	"testing"
+
+	"semicont"
+	"semicont/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		HorizonHours: 2,
+		Trials:       1,
+		Seed:         1,
+		Thetas:       []float64{-1, 0, 1},
+	}
+}
+
+func runExperiment(b *testing.B, f func(experiments.Options) (*experiments.Output, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkTableFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableFig3()
+	}
+}
+
+func BenchmarkTableFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableFig6()
+	}
+}
+
+func BenchmarkFig4Small(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig4(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkFig4Large(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig4(semicont.LargeSystem(), o)
+	})
+}
+
+func BenchmarkFig5Small(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig5(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkFig5Large(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig5(semicont.LargeSystem(), o)
+	})
+}
+
+func BenchmarkFig7Small(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig7(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkFig7Large(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Fig7(semicont.LargeSystem(), o)
+	})
+}
+
+func BenchmarkStagingSweep(b *testing.B) {
+	runExperiment(b, experiments.StagingSweep)
+}
+
+func BenchmarkSVBR(b *testing.B) {
+	runExperiment(b, experiments.SVBR)
+}
+
+func BenchmarkHeterogeneity(b *testing.B) {
+	runExperiment(b, experiments.Heterogeneity)
+}
+
+func BenchmarkPartialPredictive(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.PartialPredictive(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkChainLength(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.ChainLength(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkSwitchDelay(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.SwitchDelay(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkFailover(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Failover(semicont.SmallSystem(), o)
+	})
+}
+
+// --- simulator throughput benchmarks ---
+
+// BenchmarkEngineSmallSystem measures end-to-end simulation throughput
+// on the paper's small system under the full P4 policy; the reported
+// time is per simulated hour of cluster operation.
+func BenchmarkEngineSmallSystem(b *testing.B) {
+	sc := semicont.Scenario{
+		System:       semicont.SmallSystem(),
+		Policy:       semicont.PolicyP4(),
+		Theta:        0.271,
+		HorizonHours: 10,
+		Seed:         1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := semicont.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineLargeSystem is the same for the 20-server system.
+func BenchmarkEngineLargeSystem(b *testing.B) {
+	sc := semicont.Scenario{
+		System:       semicont.LargeSystem(),
+		Policy:       semicont.PolicyP4(),
+		Theta:        0.271,
+		HorizonHours: 5,
+		Seed:         1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := semicont.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineNoStaging isolates the continuous-transmission
+// baseline (P1), the cheapest configuration.
+func BenchmarkEngineNoStaging(b *testing.B) {
+	sc := semicont.Scenario{
+		System:       semicont.SmallSystem(),
+		Policy:       semicont.PolicyP1(),
+		Theta:        0.271,
+		HorizonHours: 10,
+		Seed:         1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		if _, err := semicont.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplication(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Replication(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkIntermittent(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Intermittent(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkClientMix(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.ClientMix(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkInteractivity(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Interactivity(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkClusterAnalysis(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.ClusterAnalysis(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkSpareDisciplines(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.SpareDisciplines(semicont.SmallSystem(), o)
+	})
+}
+
+func BenchmarkPatching(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.Patching(semicont.SmallSystem(), o)
+	})
+}

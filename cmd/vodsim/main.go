@@ -1,0 +1,239 @@
+// Command vodsim runs a single cluster-VoD simulation with every model
+// knob exposed as a flag and prints the resulting metrics. It is the
+// interactive companion to cmd/paperfigs: use it to poke at one
+// configuration, trace its events, or test a failure scenario.
+//
+// Examples:
+//
+//	vodsim -system small -policy P4 -theta 0.271 -hours 100
+//	vodsim -system large -placement even -migration -staging 0.2 -theta -1
+//	vodsim -system small -policy P3 -fail-at 50 -fail-server 2
+//	vodsim -system small -policy P4 -trace events.csv -hours 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semicont"
+	"semicont/internal/trace"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "small", `system: "small", "large", or "svbr:<k>" for a single server`)
+		policy    = flag.String("policy", "", "paper policy P1..P8 (overrides the individual knobs)")
+		placement = flag.String("placement", "even", "placement: even, predictive, partial")
+		migration = flag.Bool("migration", false, "enable dynamic request migration")
+		maxHops   = flag.Int("max-hops", 1, "lifetime migrations per request (-1 = unlimited)")
+		maxChain  = flag.Int("max-chain", 1, "migrations per arrival (chain length)")
+		switchDel = flag.Float64("switch-delay", 0, "seconds of blackout per migration")
+		staging   = flag.Float64("staging", 0, "client buffer as fraction of average object size")
+		spare     = flag.String("spare", "eftf", "workahead discipline: eftf, lftf, even-split")
+		intermit  = flag.Bool("intermittent", false, "intermittent scheduling (pause full-buffer streams; risks glitches)")
+		guard     = flag.Float64("resume-guard", 0, "intermittent resume guard, seconds (0 = 30s default)")
+		replicate = flag.Bool("replicate", false, "dynamic replication on rejection")
+		copyRate  = flag.Float64("copy-rate", 0, "replication copy rate cap, Mb/s (0 = 2x view rate)")
+		patchWin  = flag.Float64("patch-window", 0, "multicast patch window, seconds (0 = off)")
+		pauseProb = flag.Float64("pause-prob", 0, "probability a viewer pauses once")
+		pauseMin  = flag.Float64("pause-min", 60, "shortest viewer pause, seconds")
+		pauseMax  = flag.Float64("pause-max", 540, "longest viewer pause, seconds")
+		recvCap   = flag.Float64("recv-cap", semicont.DefaultReceiveCap, "client receive cap, Mb/s (-1 = unlimited)")
+		theta     = flag.Float64("theta", 0.271, "Zipf theta (1 = uniform demand)")
+		hours     = flag.Float64("hours", 100, "simulated hours of arrivals")
+		load      = flag.Float64("load", 1.0, "offered load as a fraction of capacity")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 1, "independent trials (seeds derived)")
+		failAt    = flag.Float64("fail-at", 0, "hours after which a server fails (0 = never)")
+		failSrv   = flag.Int("fail-server", 0, "server to fail")
+		traceOut  = flag.String("trace", "", "write an event trace CSV to this file (single trial only)")
+		check     = flag.Bool("check", false, "enable per-event invariant checking (slow)")
+	)
+	flag.Parse()
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pol semicont.Policy
+	if *policy != "" {
+		pol, err = parsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		pol = semicont.Policy{
+			Name:            "custom",
+			Migration:       *migration,
+			MaxHops:         *maxHops,
+			MaxChain:        *maxChain,
+			SwitchDelay:     *switchDel,
+			StagingFrac:     *staging,
+			ReceiveCap:      *recvCap,
+			Intermittent:    *intermit,
+			ResumeGuard:     *guard,
+			Replicate:       *replicate,
+			ReplicationRate: *copyRate,
+			PatchWindowSec:  *patchWin,
+			PauseProb:       *pauseProb,
+		}
+		if *pauseProb > 0 {
+			pol.MinPauseSec, pol.MaxPauseSec = *pauseMin, *pauseMax
+		}
+		switch *spare {
+		case "eftf":
+			pol.Spare = semicont.EFTFSpare
+		case "lftf":
+			pol.Spare = semicont.LFTFSpare
+		case "even-split":
+			pol.Spare = semicont.EvenSplitSpare
+		default:
+			fatal(fmt.Errorf("unknown spare discipline %q", *spare))
+		}
+		switch *placement {
+		case "even":
+			pol.Placement = semicont.EvenPlacement
+		case "predictive":
+			pol.Placement = semicont.PredictivePlacement
+		case "partial":
+			pol.Placement = semicont.PartialPredictivePlacement
+		default:
+			fatal(fmt.Errorf("unknown placement %q", *placement))
+		}
+	}
+
+	sc := semicont.Scenario{
+		System:          sys,
+		Policy:          pol,
+		Theta:           *theta,
+		HorizonHours:    *hours,
+		LoadFactor:      *load,
+		Seed:            *seed,
+		FailServer:      *failSrv,
+		FailAtHours:     *failAt,
+		CheckInvariants: *check,
+	}
+
+	if *traceOut != "" {
+		if *trials != 1 {
+			fatal(fmt.Errorf("-trace requires -trials 1"))
+		}
+		rec := &trace.Recorder{}
+		sc.Observer = rec
+		res, err := semicont.Run(sc)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(sc, res)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(rec.Events), *traceOut)
+		return
+	}
+
+	if *trials == 1 {
+		res, err := semicont.Run(sc)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(sc, res)
+		return
+	}
+
+	agg, err := semicont.RunTrials(sc, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("system=%s policy=%s theta=%g hours=%g trials=%d\n",
+		sys.Name, pol.Name, sc.Theta, sc.HorizonHours, *trials)
+	fmt.Printf("utilization      %s\n", agg.Utilization.String())
+	fmt.Printf("rejection ratio  %s\n", agg.Rejection.String())
+	fmt.Printf("migrations       %s\n", agg.Migrations.String())
+}
+
+func parseSystem(s string) (semicont.System, error) {
+	switch s {
+	case "small":
+		return semicont.SmallSystem(), nil
+	case "large":
+		return semicont.LargeSystem(), nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "svbr:%d", &k); err == nil && k > 0 {
+		return semicont.SingleServer(k), nil
+	}
+	return semicont.System{}, fmt.Errorf(`unknown system %q (want "small", "large", or "svbr:<k>")`, s)
+}
+
+func parsePolicy(name string) (semicont.Policy, error) {
+	for _, p := range semicont.PaperPolicies() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return semicont.Policy{}, fmt.Errorf("unknown policy %q (want P1..P8)", name)
+}
+
+func printResult(sc semicont.Scenario, r *semicont.Result) {
+	fmt.Printf("system=%s policy=%s theta=%g hours=%g seed=%d\n",
+		sc.System.Name, sc.Policy.Name, sc.Theta, sc.HorizonHours, sc.Seed)
+	fmt.Printf("arrival rate       %.4f req/s (offered load = %.0f%% of %g Mb/s)\n",
+		r.ArrivalRate, 100*orOne(sc.LoadFactor), r.TotalBandwidthMbps)
+	fmt.Printf("utilization        %.4f\n", r.Utilization)
+	fmt.Printf("requests           %d offered, %d accepted, %d rejected (%.2f%% rejected)\n",
+		r.Arrivals, r.Accepted, r.Rejected, 100*r.RejectionRatio)
+	fmt.Printf("data               %.0f Mb accepted, %.0f Mb delivered, %d completions\n",
+		r.AcceptedMb, r.DeliveredMb, r.Completions)
+	if sc.Policy.Migration {
+		fmt.Printf("migration          %d moves, %d admissions via DRM, mean chain %.2f, max chain %d\n",
+			r.Migrations, r.AdmissionsViaDRM, r.MeanChainLength, r.MaxChainUsed)
+	}
+	if sc.Policy.StagingFrac > 0 {
+		fmt.Printf("staging            %.0f Mb client buffer (%.0f%% of avg object)\n",
+			r.StagingBufferMb, 100*sc.Policy.StagingFrac)
+	}
+	if sc.FailAtHours > 0 {
+		fmt.Printf("failure            server %d at %g h: %d rescued, %d dropped\n",
+			sc.FailServer, sc.FailAtHours, r.RescuedStreams, r.DroppedStreams)
+	}
+	if sc.Policy.Intermittent {
+		fmt.Printf("intermittent       %d streams glitched\n", r.GlitchedStreams)
+	}
+	if sc.Policy.Replicate {
+		fmt.Printf("replication        %d copies completed (%d started), %.0f Mb moved\n",
+			r.ReplicationsCompleted, r.ReplicationsStarted, r.ReplicatedMb)
+	}
+	if sc.Policy.PauseProb > 0 {
+		fmt.Printf("interactivity      %d viewer pauses\n", r.ViewerPauses)
+	}
+	if sc.Policy.PatchWindowSec > 0 {
+		fmt.Printf("patching           %d joins, %.0f Mb delivered over shared streams\n",
+			r.PatchedJoins, r.SharedMb)
+	}
+	if r.PlacementShortfall > 0 {
+		fmt.Printf("placement          WARNING: %d replicas did not fit (placed %d)\n",
+			r.PlacementShortfall, r.PlacedCopies)
+	}
+}
+
+func orOne(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vodsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseSystem(t *testing.T) {
+	small, err := parseSystem("small")
+	if err != nil || small.NumServers != 5 {
+		t.Errorf("small: %+v, %v", small, err)
+	}
+	large, err := parseSystem("large")
+	if err != nil || large.NumServers != 20 {
+		t.Errorf("large: %+v, %v", large, err)
+	}
+	one, err := parseSystem("svbr:40")
+	if err != nil || one.NumServers != 1 || one.ServerBandwidth != 120 {
+		t.Errorf("svbr: %+v, %v", one, err)
+	}
+	for _, bad := range []string{"", "medium", "svbr:0", "svbr:-3", "svbr:x"} {
+		if _, err := parseSystem(bad); err == nil {
+			t.Errorf("parseSystem(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"P1", "P4", "P8"} {
+		p, err := parsePolicy(name)
+		if err != nil || p.Name != name {
+			t.Errorf("parsePolicy(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := parsePolicy("P9"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := parsePolicy(""); err == nil {
+		t.Error("empty policy accepted")
+	}
+}
+
+func TestOrOne(t *testing.T) {
+	if orOne(0) != 1 || orOne(0.5) != 0.5 {
+		t.Error("orOne defaults wrong")
+	}
+}

@@ -1,0 +1,64 @@
+// Campus: capacity planning for a small-enterprise video service (the
+// paper's intro motivates "less than a dozen servers for small
+// enterprise intranets").
+//
+// A campus serves 10–30 minute lecture clips from a handful of servers.
+// The question a deployer asks: how much demand skew can the cheap,
+// popularity-oblivious configuration (even placement) tolerate before
+// replica planning becomes necessary — and how much do client-side
+// staging buffers and request migration buy?
+//
+//	go run ./examples/campus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semicont"
+)
+
+func main() {
+	system := semicont.SmallSystem()
+	system.Name = "campus"
+
+	fmt.Println("Campus VoD: 5 servers × 100 Mb/s, 100 clips of 10-30 min, offered load = capacity")
+	fmt.Println()
+	fmt.Printf("%-10s  %-22s  %-22s  %-22s\n", "", "naive (P1)", "+staging+DRM (P4)", "perfect predict (P8)")
+	fmt.Printf("%-10s  %-22s  %-22s  %-22s\n", "demand", "util    rejected", "util    rejected", "util    rejected")
+
+	// Sweep demand skew from uniform (θ=1) to severely skewed (θ=-1.5).
+	for _, d := range []struct {
+		label string
+		theta float64
+	}{
+		{"uniform", 1.0},
+		{"mild", 0.5},
+		{"zipf", 0.0},
+		{"heavy", -0.75},
+		{"extreme", -1.5},
+	} {
+		row := fmt.Sprintf("%-10s", d.label)
+		for _, pol := range []semicont.Policy{semicont.PolicyP1(), semicont.PolicyP4(), semicont.PolicyP8()} {
+			agg, err := semicont.RunTrials(semicont.Scenario{
+				System:       system,
+				Policy:       pol,
+				Theta:        d.theta,
+				HorizonHours: 60,
+				Seed:         7,
+			}, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %-22s", fmt.Sprintf("%.3f   %5.2f%%",
+				agg.Utilization.Mean(), 100*agg.Rejection.Mean()))
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: with staging + migration (P4) the oblivious even")
+	fmt.Println("placement holds near-maximum utilization for any realistic skew; only")
+	fmt.Println("under extreme skew does replica prediction (P8) still matter — the")
+	fmt.Println("paper's conclusion that placement can usually ignore popularity.")
+}

@@ -1,0 +1,64 @@
+// Megaplex: sizing client staging buffers for a movie service (the
+// paper's large system — 20 servers × 300 Mb/s streaming 1–2 hour
+// features).
+//
+// Client set-top boxes have disks; how much of one should the service
+// reserve for workahead staging? This example sweeps the staging
+// fraction and prints utilization alongside the actual buffer size in
+// megabytes, reproducing the paper's "20% is near optimal" knee on a
+// deployment-shaped question.
+//
+//	go run ./examples/megaplex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semicont"
+)
+
+func main() {
+	system := semicont.LargeSystem()
+	system.Name = "megaplex"
+
+	fmt.Println("Megaplex VoD: 20 servers × 300 Mb/s, 1-2 h features, 30 Mb/s client links")
+	fmt.Println("Demand: Zipf theta = 0.271 (typical movie popularity), offered load = capacity")
+	fmt.Println()
+	fmt.Printf("%-18s  %-14s  %-12s  %s\n", "staging fraction", "client buffer", "utilization", "rejected")
+
+	var prev float64
+	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.4, 1.0} {
+		agg, err := semicont.RunTrials(semicont.Scenario{
+			System: system,
+			Policy: semicont.Policy{
+				Name:        fmt.Sprintf("stage-%g", frac),
+				Placement:   semicont.EvenPlacement,
+				Migration:   true,
+				StagingFrac: frac,
+				ReceiveCap:  semicont.DefaultReceiveCap,
+			},
+			Theta:        0.271,
+			HorizonHours: 60,
+			Seed:         11,
+		}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bufMb := agg.Results[0].StagingBufferMb
+		util := agg.Utilization.Mean()
+		delta := ""
+		if frac > 0 {
+			delta = fmt.Sprintf("  (%+.2f pts)", 100*(util-prev))
+		}
+		fmt.Printf("%-18s  %8.0f Mb    %.4f      %5.2f%%%s\n",
+			fmt.Sprintf("%.0f%% of object", 100*frac), bufMb, util,
+			100*agg.Rejection.Mean(), delta)
+		prev = util
+	}
+
+	fmt.Println()
+	fmt.Println("The marginal gain collapses past ~20%: reserving a fifth of an average")
+	fmt.Println("object (~3 GB of set-top disk here) buys nearly all of the benefit of")
+	fmt.Println("buffering whole movies.")
+}

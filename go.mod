@@ -1,0 +1,3 @@
+module semicont
+
+go 1.22

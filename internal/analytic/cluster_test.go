@@ -1,0 +1,199 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterModelValidate(t *testing.T) {
+	good := &ClusterModel{
+		Slots:   []int{10, 10},
+		Load:    []float64{5, 5},
+		Holders: [][]int{{0}, {0, 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	cases := []*ClusterModel{
+		{},
+		{Slots: []int{0}, Load: []float64{1}, Holders: [][]int{{0}}},
+		{Slots: []int{10}, Load: []float64{1, 2}, Holders: [][]int{{0}}},
+		{Slots: []int{10}, Load: []float64{-1}, Holders: [][]int{{0}}},
+		{Slots: []int{10}, Load: []float64{1}, Holders: [][]int{{}}},
+		{Slots: []int{10}, Load: []float64{1}, Holders: [][]int{{3}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSingleServerReducesToErlangB(t *testing.T) {
+	// One server, one video: every formulation must equal 1 − B(k, a).
+	m := &ClusterModel{
+		Slots:   []int{33},
+		Load:    []float64{33},
+		Holders: [][]int{{0}},
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErlangB(33, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 33 * (1 - b) / 33
+	if math.Abs(sol.Utilization-want) > 1e-9 {
+		t.Errorf("fixed-point utilization = %v, want %v", sol.Utilization, want)
+	}
+	ns, err := m.NoSharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m.CompleteSharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ns-cs) > 1e-9 {
+		t.Errorf("single server: no-sharing %v != complete-sharing %v", ns, cs)
+	}
+	if math.Abs(ns-33*(1-b)) > 1e-9 {
+		t.Errorf("no-sharing carried = %v, want %v", ns, 33*(1-b))
+	}
+}
+
+func TestSymmetricTwoServer(t *testing.T) {
+	// Two identical servers, two videos each held by both: by symmetry
+	// the fixed point must split the load evenly and converge.
+	m := &ClusterModel{
+		Slots:   []int{20, 20},
+		Load:    []float64{20, 20},
+		Holders: [][]int{{0, 1}, {0, 1}},
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Blocking[0]-sol.Blocking[1]) > 1e-9 {
+		t.Errorf("blocking asymmetric: %v vs %v", sol.Blocking[0], sol.Blocking[1])
+	}
+	if sol.Iterations >= 1000 {
+		t.Errorf("fixed point did not converge (%d iterations)", sol.Iterations)
+	}
+	// With full replication a request is lost only when both servers
+	// block: loss = B².
+	wantLoss := sol.Blocking[0] * sol.Blocking[1]
+	if math.Abs(sol.VideoLoss[0]-wantLoss) > 1e-12 {
+		t.Errorf("video loss = %v, want %v", sol.VideoLoss[0], wantLoss)
+	}
+}
+
+func TestHotVideoLoadsItsHolders(t *testing.T) {
+	// Video 0 carries 10× the load and lives on server 0 only: server 0
+	// must block far more than server 1.
+	m := &ClusterModel{
+		Slots:   []int{10, 10},
+		Load:    []float64{20, 2},
+		Holders: [][]int{{0}, {1}},
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Blocking[0] <= sol.Blocking[1] {
+		t.Errorf("hot server blocks less: %v vs %v", sol.Blocking[0], sol.Blocking[1])
+	}
+	if sol.VideoLoss[0] <= sol.VideoLoss[1] {
+		t.Errorf("hot video loses less: %v vs %v", sol.VideoLoss[0], sol.VideoLoss[1])
+	}
+}
+
+// Property: pooling can only help — complete sharing carries at least
+// as much as the partitioned estimate, and both stay within the
+// offered load.
+func TestSharingOrderingProperty(t *testing.T) {
+	prop := func(seedsRaw []uint8) bool {
+		if len(seedsRaw) < 4 {
+			return true
+		}
+		if len(seedsRaw) > 12 {
+			seedsRaw = seedsRaw[:12]
+		}
+		nServers := 2 + int(seedsRaw[0]%4)
+		m := &ClusterModel{Slots: make([]int, nServers)}
+		for s := range m.Slots {
+			m.Slots[s] = 5 + int(seedsRaw[1]>>2)
+		}
+		for i, r := range seedsRaw[2:] {
+			load := float64(r%40) + 0.5
+			h1 := i % nServers
+			h2 := (i + 1 + int(r)%(nServers-1)) % nServers
+			holders := []int{h1}
+			if h2 != h1 {
+				holders = append(holders, h2)
+			}
+			m.Load = append(m.Load, load)
+			m.Holders = append(m.Holders, holders)
+		}
+		ns, err1 := m.NoSharing()
+		cs, err2 := m.CompleteSharing()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		total := 0.0
+		for _, a := range m.Load {
+			total += a
+		}
+		if ns > cs+1e-9 {
+			return false // partitioning can never beat pooling
+		}
+		return ns >= 0 && cs <= total+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPointStaysInUnitRange(t *testing.T) {
+	m := &ClusterModel{
+		Slots:   []int{33, 33, 33},
+		Load:    []float64{40, 40, 25},
+		Holders: [][]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Utilization <= 0 || sol.Utilization > 1 {
+		t.Errorf("utilization %v out of range", sol.Utilization)
+	}
+	for s, b := range sol.Blocking {
+		if b < 0 || b > 1 {
+			t.Errorf("blocking[%d] = %v", s, b)
+		}
+	}
+}
+
+func TestSolveOverload(t *testing.T) {
+	// Extreme overload: every server saturates, losses approach 1, and
+	// the even-split fallback branch is exercised without divergence.
+	m := &ClusterModel{
+		Slots:   []int{5, 5},
+		Load:    []float64{5000},
+		Holders: [][]int{{0, 1}},
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.VideoLoss[0] < 0.99 {
+		t.Errorf("loss under extreme overload = %v", sol.VideoLoss[0])
+	}
+	// Deep overload keeps every server busy: utilization clamps to 1.
+	if !(sol.Utilization > 0.99 && sol.Utilization <= 1) {
+		t.Errorf("utilization = %v, want ≈1 under deep overload", sol.Utilization)
+	}
+}

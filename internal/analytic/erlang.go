@@ -1,0 +1,96 @@
+// Package analytic implements the closed-form performance model the
+// paper uses to validate its simulator (Section 3.2 and the full
+// version [5]): the expected utilization of a single video server as a
+// function of its server-to-view bandwidth ratio (SVBR).
+//
+// Without staging or migration, a single server under minimum-flow
+// admission is an M/G/k/k loss system: k = ⌊SVBR⌋ slots, Poisson
+// arrivals, arbitrarily distributed holding times (video lengths), and
+// blocked requests are lost. By the Erlang insensitivity property the
+// blocking probability depends on the holding-time distribution only
+// through its mean, so the Erlang-B formula applies exactly. With the
+// paper's calibration (offered load = capacity, i.e. a = k Erlangs),
+//
+//	E[utilization] = (a/k) · (1 − B(k, a)) = 1 − B(k, k).
+//
+// The experiment E-SVBR compares the simulator against this curve; the
+// close match validates both (as the paper reports of its own results).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangB returns the blocking probability B(k, a) of an M/G/k/k loss
+// system with k servers and offered load a Erlangs, computed with the
+// numerically stable recurrence
+//
+//	B(0, a) = 1,  B(n, a) = a·B(n−1, a) / (n + a·B(n−1, a)).
+func ErlangB(k int, a float64) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("analytic: negative server count %d", k)
+	}
+	if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0, fmt.Errorf("analytic: invalid offered load %g", a)
+	}
+	b := 1.0
+	for n := 1; n <= k; n++ {
+		b = a * b / (float64(n) + a*b)
+	}
+	return b, nil
+}
+
+// ErlangBDirect evaluates B(k, a) from its defining sum,
+// (a^k/k!) / Σ_{n=0..k} a^n/n!, computed in log space to avoid
+// overflow. It exists to cross-check the recurrence in tests.
+func ErlangBDirect(k int, a float64) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("analytic: negative server count %d", k)
+	}
+	if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0, fmt.Errorf("analytic: invalid offered load %g", a)
+	}
+	if a == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	// log(a^n/n!) accumulated incrementally; normalize by the max term
+	// for a stable sum.
+	logTerms := make([]float64, k+1)
+	logTerm := 0.0
+	maxLog := 0.0
+	for n := 1; n <= k; n++ {
+		logTerm += math.Log(a) - math.Log(float64(n))
+		logTerms[n] = logTerm
+		if logTerm > maxLog {
+			maxLog = logTerm
+		}
+	}
+	sum := 0.0
+	for _, lt := range logTerms {
+		sum += math.Exp(lt - maxLog)
+	}
+	return math.Exp(logTerms[k]-maxLog) / sum, nil
+}
+
+// ExpectedUtilization returns the expected bandwidth utilization of a
+// single server with k minimum-flow slots under the paper's calibrated
+// workload (offered load = capacity): (a/k)·(1 − B(k, a)) with a = k·ρ,
+// where ρ is the load factor (1.0 in the paper's experiments).
+func ExpectedUtilization(k int, rho float64) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("analytic: server needs at least one slot, got %d", k)
+	}
+	if rho <= 0 {
+		return 0, fmt.Errorf("analytic: load factor must be positive, got %g", rho)
+	}
+	a := float64(k) * rho
+	b, err := ErlangB(k, a)
+	if err != nil {
+		return 0, err
+	}
+	return rho * (1 - b), nil
+}

@@ -1,0 +1,143 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	cases := []struct {
+		k    int
+		a    float64
+		want float64
+	}{
+		{0, 5, 1},   // no servers: everything blocks
+		{1, 1, 0.5}, // B(1,1) = 1/(1+1)
+		{2, 1, 0.2}, // B(2,1) = 0.5/(2+0.5) = 1/5
+		{1, 0, 0},   // no load: no blocking
+		{5, 0, 0},
+		{2, 2, 0.4}, // B(2,2): b1=2/3, b2=(2·2/3)/(2+4/3)=0.4
+	}
+	for _, c := range cases {
+		got, err := ErlangB(c.k, c.a)
+		if err != nil {
+			t.Fatalf("ErlangB(%d, %g): %v", c.k, c.a, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ErlangB(%d, %g) = %v, want %v", c.k, c.a, got, c.want)
+		}
+	}
+}
+
+func TestErlangBErrors(t *testing.T) {
+	if _, err := ErlangB(-1, 1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := ErlangB(1, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := ErlangB(1, math.NaN()); err == nil {
+		t.Error("NaN load accepted")
+	}
+	if _, err := ErlangBDirect(-1, 1); err == nil {
+		t.Error("direct: negative k accepted")
+	}
+	if _, err := ErlangBDirect(1, math.Inf(1)); err == nil {
+		t.Error("direct: infinite load accepted")
+	}
+}
+
+// The recurrence and the direct log-space sum must agree, including at
+// large k where the naive factorial formula would overflow.
+func TestRecurrenceMatchesDirect(t *testing.T) {
+	prop := func(kRaw uint8, aRaw uint16) bool {
+		k := int(kRaw%200) + 1
+		a := float64(aRaw%3000)/10 + 0.1
+		r, err1 := ErlangB(k, a)
+		d, err2 := ErlangBDirect(k, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r-d) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErlangBMonotoneInServers(t *testing.T) {
+	// More slots at fixed load → less blocking.
+	prev := 1.1
+	for k := 1; k <= 50; k++ {
+		b, err := ErlangB(k, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= prev {
+			t.Fatalf("B(%d, 10) = %v not below B(%d) = %v", k, b, k-1, prev)
+		}
+		prev = b
+	}
+}
+
+func TestErlangBMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for a := 0.5; a <= 50; a += 0.5 {
+		b, err := ErlangB(20, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Fatalf("B(20, %g) = %v not above %v", a, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestExpectedUtilization(t *testing.T) {
+	// SVBR 1 at full load: utilization = 1 − B(1,1) = 0.5.
+	u, err := ExpectedUtilization(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("ExpectedUtilization(1, 1) = %v, want 0.5", u)
+	}
+	// Utilization grows with SVBR (the paper's Section 3.2 claim) and
+	// approaches 1.
+	prev := 0.0
+	for _, k := range []int{1, 2, 5, 10, 33, 100, 200, 500} {
+		u, err := ExpectedUtilization(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u <= prev || u >= 1 {
+			t.Fatalf("ExpectedUtilization(%d) = %v, prev %v", k, u, prev)
+		}
+		prev = u
+	}
+	if prev < 0.94 {
+		t.Errorf("utilization at SVBR 500 = %v, expected near 1", prev)
+	}
+}
+
+func TestExpectedUtilizationLightLoad(t *testing.T) {
+	// At 50% offered load and generous slots, utilization ≈ 0.5.
+	u, err := ExpectedUtilization(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-6 {
+		t.Errorf("ExpectedUtilization(100, 0.5) = %v, want ≈0.5", u)
+	}
+}
+
+func TestExpectedUtilizationErrors(t *testing.T) {
+	if _, err := ExpectedUtilization(0, 1); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := ExpectedUtilization(10, 0); err == nil {
+		t.Error("zero load accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/simtime"
+)
+
+// Micro-benchmarks of the simulator's hot paths.
+
+func BenchmarkEventQueue(b *testing.B) {
+	var q simtime.Queue[event]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Steady-state churn: push two, pop one, like a busy server.
+		t := float64(i)
+		q.Push(t+1, event{kind: evServerWake, server: 0, version: uint64(i)})
+		q.Push(t+2, event{kind: evArrival})
+		q.Pop()
+	}
+}
+
+func BenchmarkEFTFAllocate(b *testing.B) {
+	cfg := Config{
+		ServerBandwidth: []float64{300}, ViewRate: 3,
+		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
+	}
+	e := &Engine{cfg: cfg}
+	s := mkServer(300, 3)
+	// A nearly full server: 90 of 100 slots busy, mixed progress.
+	for i := 0; i < 90; i++ {
+		r := &request{
+			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
+			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
+		}
+		s.attach(r)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.allocate(s, 0)
+	}
+}
+
+func BenchmarkEFTFAllocateSaturated(b *testing.B) {
+	// The common case under 100% offered load: zero spare bandwidth, so
+	// the candidate sort must be skipped entirely.
+	cfg := Config{
+		ServerBandwidth: []float64{300}, ViewRate: 3,
+		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
+	}
+	e := &Engine{cfg: cfg}
+	s := mkServer(300, 3)
+	for i := 0; i < 100; i++ {
+		r := &request{
+			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
+			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
+		}
+		s.attach(r)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.allocate(s, 0)
+	}
+}
+
+func BenchmarkNextWake(b *testing.B) {
+	cfg := Config{
+		ServerBandwidth: []float64{300}, ViewRate: 3,
+		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
+	}
+	e := &Engine{cfg: cfg}
+	s := mkServer(300, 3)
+	for i := 0; i < 90; i++ {
+		r := &request{
+			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
+			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
+		}
+		s.attach(r)
+	}
+	e.allocate(s, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.nextWake(s, 0)
+	}
+}

@@ -1,0 +1,325 @@
+// Package core implements the paper's primary contribution: the
+// semi-continuous transmission engine for a cluster-based video server.
+// It combines
+//
+//   - a fluid-flow discrete-event model of servers, clients, and
+//     constant-bit-rate playback,
+//   - minimum-flow admission control (every unfinished request is
+//     guaranteed at least the view bandwidth, Section 3.3),
+//   - the EFTF (Earliest Finishing Time First) workahead scheduler that
+//     stages data into client buffers with spare server bandwidth
+//     (Figure 2 of the paper),
+//   - dynamic request migration (DRM) between servers at admission time
+//     (Section 3.1), including the chain-length and hops-per-request
+//     limits studied in Section 4.2, and
+//   - server failure injection with DRM-based stream rescue (the
+//     fault-tolerance use of migration the paper points out).
+//
+// The engine is deterministic: given the same configuration, placement,
+// and arrival stream it produces bit-identical results.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnlimitedHops configures migration with no per-request lifetime limit
+// (the "unrestricted hops per request" curves of Figure 4).
+const UnlimitedHops = -1
+
+// MigrationConfig controls dynamic request migration.
+type MigrationConfig struct {
+	// Enabled turns DRM on. When off, arrivals finding every replica
+	// holder full are rejected outright.
+	Enabled bool
+
+	// MaxHops bounds how many times a single request may be migrated
+	// during its lifetime. 1 reproduces the paper's "hops per request =
+	// 1"; UnlimitedHops removes the bound. 0 with Enabled==true permits
+	// no migrations at all.
+	MaxHops int
+
+	// MaxChain bounds how many requests may be migrated to accommodate
+	// one incoming request (the paper's "migration chain length", kept
+	// at one throughout its experiments). Values above one enable the
+	// recursive chain search ablation.
+	MaxChain int
+
+	// SwitchDelay is the time a migrating stream receives no data while
+	// the transmission is re-established on the new server. A migration
+	// is only legal if the client's buffer holds at least
+	// SwitchDelay × view-rate of data, since playback must continue from
+	// the buffer during the switch (Section 3.1's jitter argument).
+	// Zero (the paper's assumption) makes switching instantaneous.
+	SwitchDelay float64
+}
+
+// Validate reports configuration errors.
+func (m MigrationConfig) Validate() error {
+	if !m.Enabled {
+		return nil
+	}
+	if m.MaxHops < UnlimitedHops {
+		return fmt.Errorf("core: MaxHops %d (use UnlimitedHops=-1 for no bound)", m.MaxHops)
+	}
+	if m.MaxChain < 1 {
+		return fmt.Errorf("core: MaxChain must be at least 1, got %d", m.MaxChain)
+	}
+	if m.SwitchDelay < 0 {
+		return fmt.Errorf("core: negative SwitchDelay %g", m.SwitchDelay)
+	}
+	return nil
+}
+
+// SpareDiscipline selects how spare server bandwidth is divided among
+// staging candidates. The paper's Theorem (Section 3.3) proves EFTF
+// optimal among minimum-flow algorithms when client receive bandwidth
+// is unbounded; the alternatives exist to measure the theorem's value
+// empirically (ablation A-EFTF).
+type SpareDiscipline uint8
+
+const (
+	// EFTF gives spare bandwidth to the earliest projected finisher
+	// first (the paper's Figure 2 algorithm). The default.
+	EFTF SpareDiscipline = iota
+	// LFTF gives spare bandwidth to the latest projected finisher
+	// first — the adversarial opposite of EFTF.
+	LFTF
+	// EvenSplit divides spare bandwidth equally among all staging
+	// candidates regardless of progress.
+	EvenSplit
+)
+
+// String implements fmt.Stringer.
+func (d SpareDiscipline) String() string {
+	switch d {
+	case EFTF:
+		return "eftf"
+	case LFTF:
+		return "lftf"
+	case EvenSplit:
+		return "even-split"
+	default:
+		return fmt.Sprintf("SpareDiscipline(%d)", uint8(d))
+	}
+}
+
+// ClientClass describes one kind of client in a heterogeneous client
+// population (the paper's future-work observation that "client resource
+// capabilities can vary"). Each admitted request draws a class with
+// probability proportional to Weight.
+type ClientClass struct {
+	// Weight is the class's relative frequency (need not sum to 1).
+	Weight float64
+	// BufferCapacity is this class's staging buffer in Mb (0 = none).
+	BufferCapacity float64
+	// ReceiveCap is this class's receive bandwidth in Mb/s
+	// (0 = unlimited).
+	ReceiveCap float64
+}
+
+// Config describes one cluster simulation.
+type Config struct {
+	// ServerBandwidth lists each data server's transmission capacity in
+	// Mb/s. Homogeneous clusters repeat one value; the heterogeneity
+	// experiments vary entries while preserving the total.
+	ServerBandwidth []float64
+
+	// ViewRate is b_view, the constant playback rate in Mb/s (3 Mb/s in
+	// every experiment of the paper).
+	ViewRate float64
+
+	// BufferCapacity is each client's staging buffer in Mb. The paper
+	// expresses it as a percentage of the average video object size;
+	// callers convert. Zero disables staging entirely.
+	BufferCapacity float64
+
+	// ReceiveCap limits the rate at which one client can receive data,
+	// in Mb/s (30 Mb/s in the staging experiments, Section 4.3). Zero
+	// means unlimited. Only meaningful with Workahead.
+	ReceiveCap float64
+
+	// Workahead enables the EFTF scheduler: spare server bandwidth is
+	// sent ahead of playback into client buffers. When false every
+	// transmission proceeds at exactly ViewRate (pure continuous
+	// transmission).
+	Workahead bool
+
+	// Spare selects the workahead discipline (default EFTF, the
+	// paper's algorithm; LFTF and EvenSplit are ablations).
+	Spare SpareDiscipline
+
+	// ClientClasses, when non-empty, makes the client population
+	// heterogeneous: each admitted request draws a class (seeded by
+	// ClientSeed) whose buffer and receive cap override BufferCapacity
+	// and ReceiveCap. Workahead still gates staging globally.
+	ClientClasses []ClientClass
+
+	// ClientSeed seeds the class draw; runs with equal seeds draw the
+	// same class sequence.
+	ClientSeed uint64
+
+	// Migration configures DRM.
+	Migration MigrationConfig
+
+	// Replication configures dynamic replica creation on rejection.
+	Replication ReplicationConfig
+
+	// Patching configures multicast stream-sharing with unicast
+	// prefix patches (related-work technique; Section 6 future work).
+	Patching PatchingConfig
+
+	// Interactivity lets viewers pause mid-play (the situation excluded
+	// by the paper's EFTF optimality theorem — "if the videos are not
+	// paused" — and raised as future work in Section 6). A paused
+	// viewer stops draining its buffer; transmission continues while
+	// the buffer has room and stops when it is full, resuming with
+	// playback.
+	Interactivity InteractivityConfig
+
+	// ServerStorage lists per-server storage capacities in Mb, used by
+	// dynamic replication to decide where new replicas fit. Empty means
+	// unbounded storage. Static placement capacity is enforced by the
+	// placement package regardless.
+	ServerStorage []float64
+
+	// Intermittent switches the scheduler from the paper's minimum-flow
+	// class to the intermittent class (Section 3.3): a stream may be
+	// paused entirely while its client plays from the staging buffer,
+	// letting the server admit more streams than its minimum-flow slot
+	// count. The paper notes the optimal intermittent admission test is
+	// impractical; this implements the natural heuristic — admit when
+	// the streams that *must* transmit (buffer below ResumeGuard) leave
+	// a slot free, pause the streams with the fullest buffers first —
+	// and counts the playback glitches the heuristic risks
+	// (Metrics.GlitchedStreams). Requires Workahead and a non-zero
+	// buffer to be useful.
+	Intermittent bool
+
+	// ResumeGuard is how many seconds of playback must remain buffered
+	// before a paused stream is considered urgent again (default 30 s).
+	// Smaller guards admit more aggressively but glitch more.
+	ResumeGuard float64
+
+	// CheckInvariants enables expensive model-invariant assertions after
+	// every event (tests use this; experiment runs leave it off).
+	CheckInvariants bool
+}
+
+// InteractivityConfig controls viewer pause behaviour.
+type InteractivityConfig struct {
+	// PauseProb is the probability that a given viewing pauses once at
+	// a uniformly random point of its playback. Zero disables
+	// interactivity.
+	PauseProb float64
+	// MinPause and MaxPause bound the uniformly distributed pause
+	// duration in seconds.
+	MinPause float64
+	MaxPause float64
+	// Seed decouples the interaction draws from other random streams.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (i InteractivityConfig) Validate() error {
+	if i.PauseProb < 0 || i.PauseProb > 1 {
+		return fmt.Errorf("core: PauseProb %g outside [0,1]", i.PauseProb)
+	}
+	if i.PauseProb > 0 {
+		if i.MinPause <= 0 || i.MaxPause < i.MinPause {
+			return fmt.Errorf("core: invalid pause duration range [%g, %g]", i.MinPause, i.MaxPause)
+		}
+	}
+	return nil
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.ServerBandwidth) == 0 {
+		return fmt.Errorf("core: no servers configured")
+	}
+	if c.ViewRate <= 0 {
+		return fmt.Errorf("core: ViewRate must be positive, got %g", c.ViewRate)
+	}
+	for i, b := range c.ServerBandwidth {
+		if b < c.ViewRate {
+			return fmt.Errorf("core: server %d bandwidth %g below view rate %g (cannot serve any stream)", i, b, c.ViewRate)
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("core: server %d bandwidth %g invalid", i, b)
+		}
+	}
+	if c.BufferCapacity < 0 {
+		return fmt.Errorf("core: negative BufferCapacity %g", c.BufferCapacity)
+	}
+	if c.ReceiveCap < 0 {
+		return fmt.Errorf("core: negative ReceiveCap %g", c.ReceiveCap)
+	}
+	if c.Workahead && c.ReceiveCap > 0 && c.ReceiveCap < c.ViewRate {
+		return fmt.Errorf("core: ReceiveCap %g below ViewRate %g", c.ReceiveCap, c.ViewRate)
+	}
+	totalWeight := 0.0
+	for i, cl := range c.ClientClasses {
+		if cl.Weight < 0 || math.IsNaN(cl.Weight) {
+			return fmt.Errorf("core: client class %d has weight %g", i, cl.Weight)
+		}
+		if cl.BufferCapacity < 0 {
+			return fmt.Errorf("core: client class %d has buffer %g", i, cl.BufferCapacity)
+		}
+		if cl.ReceiveCap < 0 || (cl.ReceiveCap > 0 && cl.ReceiveCap < c.ViewRate) {
+			return fmt.Errorf("core: client class %d receive cap %g below view rate %g", i, cl.ReceiveCap, c.ViewRate)
+		}
+		totalWeight += cl.Weight
+	}
+	if len(c.ClientClasses) > 0 && totalWeight <= 0 {
+		return fmt.Errorf("core: client classes have no positive weight")
+	}
+	if c.ResumeGuard < 0 {
+		return fmt.Errorf("core: negative ResumeGuard %g", c.ResumeGuard)
+	}
+	if c.Spare > EvenSplit {
+		return fmt.Errorf("core: unknown spare discipline %d", uint8(c.Spare))
+	}
+	if len(c.ServerStorage) > 0 && len(c.ServerStorage) != len(c.ServerBandwidth) {
+		return fmt.Errorf("core: %d storage capacities for %d servers", len(c.ServerStorage), len(c.ServerBandwidth))
+	}
+	if c.Replication.CopyRateCap < 0 {
+		return fmt.Errorf("core: negative CopyRateCap %g", c.Replication.CopyRateCap)
+	}
+	if c.Replication.PerSourceLimit < 0 {
+		return fmt.Errorf("core: negative PerSourceLimit %d", c.Replication.PerSourceLimit)
+	}
+	if c.Intermittent && !c.Workahead {
+		return fmt.Errorf("core: intermittent scheduling requires Workahead (it pauses streams against their buffers)")
+	}
+	if err := c.Interactivity.Validate(); err != nil {
+		return err
+	}
+	if err := c.Patching.Validate(); err != nil {
+		return err
+	}
+	if c.Patching.Enabled && c.Intermittent {
+		return fmt.Errorf("core: patching is incompatible with intermittent scheduling (a paused primary starves its taps)")
+	}
+	if c.Patching.Enabled && c.Interactivity.PauseProb > 0 {
+		return fmt.Errorf("core: patching is incompatible with viewer interactivity (a paused primary starves its taps)")
+	}
+	return c.Migration.Validate()
+}
+
+// TotalBandwidth returns the aggregate cluster bandwidth in Mb/s.
+func (c Config) TotalBandwidth() float64 {
+	t := 0.0
+	for _, b := range c.ServerBandwidth {
+		t += b
+	}
+	return t
+}
+
+// Slots returns how many concurrent streams server i can carry under
+// minimum-flow admission: ⌊bandwidth / ViewRate⌋ (the server-to-view
+// bandwidth ratio, SVBR, rounded down).
+func (c Config) Slots(i int) int {
+	return int(c.ServerBandwidth[i]/c.ViewRate + timeEps)
+}

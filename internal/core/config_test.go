@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func validCoreConfig() Config {
+	return Config{
+		ServerBandwidth: []float64{100, 100},
+		ViewRate:        3,
+		BufferCapacity:  720,
+		ReceiveCap:      30,
+		Workahead:       true,
+		Migration:       MigrationConfig{Enabled: true, MaxHops: 1, MaxChain: 1},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validCoreConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no servers", func(c *Config) { c.ServerBandwidth = nil }},
+		{"zero view rate", func(c *Config) { c.ViewRate = 0 }},
+		{"server below view rate", func(c *Config) { c.ServerBandwidth[1] = 2 }},
+		{"negative buffer", func(c *Config) { c.BufferCapacity = -1 }},
+		{"negative receive cap", func(c *Config) { c.ReceiveCap = -1 }},
+		{"receive cap below view rate", func(c *Config) { c.ReceiveCap = 2 }},
+		{"bad max hops", func(c *Config) { c.Migration.MaxHops = -2 }},
+		{"zero max chain", func(c *Config) { c.Migration.MaxChain = 0 }},
+		{"negative switch delay", func(c *Config) { c.Migration.SwitchDelay = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := validCoreConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() passed, want error", tc.name)
+		}
+	}
+}
+
+func TestMigrationDisabledSkipsChecks(t *testing.T) {
+	cfg := validCoreConfig()
+	cfg.Migration = MigrationConfig{Enabled: false, MaxChain: 0, MaxHops: -7}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("disabled migration config rejected: %v", err)
+	}
+}
+
+func TestSlots(t *testing.T) {
+	cfg := Config{ServerBandwidth: []float64{100, 99, 3, 301}, ViewRate: 3}
+	want := []int{33, 33, 1, 100}
+	for i, w := range want {
+		if got := cfg.Slots(i); got != w {
+			t.Errorf("Slots(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestTotalBandwidth(t *testing.T) {
+	cfg := Config{ServerBandwidth: []float64{100, 200, 300}}
+	if got := cfg.TotalBandwidth(); got != 600 {
+		t.Errorf("TotalBandwidth() = %v, want 600", got)
+	}
+}
+
+func TestUnlimitedHopsConstant(t *testing.T) {
+	cfg := validCoreConfig()
+	cfg.Migration.MaxHops = UnlimitedHops
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("UnlimitedHops rejected: %v", err)
+	}
+}

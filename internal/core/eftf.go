@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// allocate recomputes the bandwidth allocation of server s at time t,
+// implementing the paper's EARLIESTFINISHTIMEFIRST procedure (Figure 2):
+//
+//  1. every unfinished, non-suspended request receives the view
+//     bandwidth b_view (the minimum-flow guarantee), then
+//  2. while spare bandwidth remains, the request with the earliest
+//     projected finishing time whose client buffer is not full receives
+//     as much additional bandwidth as its client can absorb
+//     (min(spare, b_receive − b_r)).
+//
+// The projected finishing time at t is t + remaining/b_view for every
+// request, so "earliest projected finish" is exactly "smallest remaining
+// volume" — the comparison the implementation uses.
+//
+// All requests in s.active must be synced to t before calling. The
+// theorem in Section 3.3 shows this rule is optimal among minimum-flow
+// algorithms when client receive bandwidth is unbounded; with a receive
+// cap it remains the paper's (empirically near-optimal) policy.
+//
+// In intermittent mode (Config.Intermittent) step 1 is relaxed: see
+// allocateIntermittent.
+func (e *Engine) allocate(s *server, t float64) {
+	if e.cfg.Intermittent {
+		e.allocateIntermittent(s, t)
+		return
+	}
+	avail := s.bandwidth
+	bview := e.cfg.ViewRate
+	for _, r := range s.active {
+		if r.suspended(t) || e.pausedAndFull(r, t) {
+			// Mid-switch streams receive nothing; a paused viewer with
+			// a full buffer has nowhere to put data, so the minimum-flow
+			// guarantee is moot until it resumes (an evResume event
+			// triggers reallocation).
+			r.rate = 0
+			continue
+		}
+		r.rate = bview
+		avail -= bview
+	}
+	avail = e.allocateCopies(s, avail)
+	if !e.cfg.Workahead || avail <= dataEps {
+		return
+	}
+	e.spreadSpare(s, t, avail)
+}
+
+// allocateCopies feeds replica transfers from the spare bandwidth left
+// after the minimum-flow guarantee and ahead of client staging: fixing
+// placement is the more durable use of the spare. Each job is capped so
+// replication cannot monopolize the workahead benefit.
+func (e *Engine) allocateCopies(s *server, avail float64) float64 {
+	if len(s.copies) == 0 {
+		return avail
+	}
+	rateCap := e.copyRateCap()
+	for _, c := range s.copies {
+		r := rateCap
+		if r > avail {
+			r = avail
+		}
+		if r < 0 {
+			r = 0
+		}
+		c.rate = r
+		avail -= r
+		if avail <= dataEps {
+			avail = 0
+			rateCap = 0
+		}
+	}
+	return avail
+}
+
+// pausedAndFull reports whether r's viewer has paused with no buffer
+// room left: transmission must stop or the client buffer would
+// overflow (with no staging buffer at all, any pause stops the flow).
+func (e *Engine) pausedAndFull(r *request, t float64) bool {
+	return r.pausedView && r.bufferAt(t, e.cfg.ViewRate) >= r.bufCap-dataEps
+}
+
+// spreadSpare hands spare bandwidth to staging candidates in EFTF order.
+// Requests must be synced to t and already hold their minimum rates.
+func (e *Engine) spreadSpare(s *server, t float64, avail float64) {
+	bview := e.cfg.ViewRate
+	// Gather staging candidates: unfinished (always true for active
+	// requests), not suspended, transmitting, buffer not full.
+	cand := e.candBuf[:0]
+	for _, r := range s.active {
+		if r.suspended(t) || r.rate <= 0 {
+			continue
+		}
+		// Streams feeding multicast taps cannot run ahead (the shared
+		// receivers' buffers bound the sender), and patch streams share
+		// their client's buffer with the tapped remainder, so both stay
+		// at exactly b_view.
+		if r.taps > 0 || r.isPatch {
+			continue
+		}
+		if r.bufCap > 0 && r.bufferAt(t, bview) < r.bufCap-dataEps {
+			cand = append(cand, r)
+		}
+	}
+	if len(cand) == 0 {
+		e.candBuf = cand
+		return
+	}
+	switch e.cfg.Spare {
+	case EvenSplit:
+		// Water-filling: divide spare equally, redistributing what
+		// saturated clients cannot absorb.
+		remaining := cand
+		for avail > dataEps && len(remaining) > 0 {
+			share := avail / float64(len(remaining))
+			next := remaining[:0]
+			for _, r := range remaining {
+				headroom := math.Inf(1)
+				if r.recvCap > 0 {
+					headroom = r.recvCap - r.rate
+				}
+				extra := share
+				if extra >= headroom {
+					extra = headroom
+				} else {
+					next = append(next, r) // can absorb more next round
+				}
+				if extra > 0 {
+					r.rate += extra
+					avail -= extra
+				}
+			}
+			if len(next) == len(remaining) {
+				break // everyone took a full share; spare exhausted
+			}
+			remaining = next
+		}
+		e.candBuf = cand
+		return
+	case LFTF:
+		// Latest projected finish first: the adversarial opposite.
+		sort.Slice(cand, func(i, j int) bool {
+			ri, rj := cand[i].remaining(), cand[j].remaining()
+			if ri != rj {
+				return ri > rj
+			}
+			return cand[i].id < cand[j].id
+		})
+	default:
+		// EFTF: earliest projected finish first; ties broken by
+		// request id for determinism.
+		sort.Slice(cand, func(i, j int) bool {
+			ri, rj := cand[i].remaining(), cand[j].remaining()
+			if ri != rj {
+				return ri < rj
+			}
+			return cand[i].id < cand[j].id
+		})
+	}
+	for _, r := range cand {
+		if avail <= dataEps {
+			break
+		}
+		headroom := math.Inf(1)
+		if r.recvCap > 0 {
+			headroom = r.recvCap - r.rate
+		}
+		extra := headroom
+		if extra > avail {
+			extra = avail
+		}
+		if extra <= 0 {
+			continue // this client is saturated; try the next
+		}
+		r.rate += extra
+		avail -= extra
+	}
+	e.candBuf = cand
+}
+
+// nextWake returns the earliest future instant at which server s's
+// allocation must be recomputed absent external events: a transmission
+// finishing, a client buffer filling, a suspended stream resuming, or —
+// in intermittent mode — a paused stream draining to its resume guard.
+// Returns +Inf when the server is idle.
+func (e *Engine) nextWake(s *server, t float64) float64 {
+	next := math.Inf(1)
+	bview := e.cfg.ViewRate
+	for _, r := range s.active {
+		if r.suspended(t) {
+			if r.suspendedUntil < next {
+				next = r.suspendedUntil
+			}
+			continue
+		}
+		if r.rate <= 0 {
+			// Paused by the intermittent scheduler: its buffer drains
+			// at b_view; it must be reconsidered when it reaches the
+			// resume guard (and certainly before it empties).
+			if e.cfg.Intermittent {
+				guard := e.resumeGuard() * bview
+				lead := r.bufferAt(t, bview) - guard
+				// lead ≤ 0 means the stream is already urgent; the
+				// allocation that just ran made its decision, and only
+				// another event (a finish, an arrival) can change it —
+				// scheduling a wake "now" would spin.
+				if lead > timeEps {
+					if tb := t + lead/bview; tb < next {
+						next = tb
+					}
+				}
+			}
+			continue
+		}
+		if tf := t + r.remaining()/r.rate; tf < next {
+			next = tf
+		}
+		if fill := r.rate - r.drainRate(bview); fill > dataEps && r.bufCap >= 0 {
+			// Buffer fills at rate − drain (drain is zero while the
+			// viewer has paused).
+			room := r.bufCap - r.bufferAt(t, bview)
+			if room < 0 {
+				room = 0
+			}
+			if tb := t + room/fill; tb < next {
+				next = tb
+			}
+		}
+	}
+	for _, c := range s.copies {
+		if c.rate > 0 {
+			if tc := t + (c.size-c.sent)/c.rate; tc < next {
+				next = tc
+			}
+		}
+	}
+	if next < t {
+		next = t // guard against float noise scheduling into the past
+	}
+	return next
+}
+
+// reschedule recomputes s's allocation at time t and replaces its
+// pending wake event. Requests must be synced to t first.
+func (e *Engine) reschedule(s *server, t float64) {
+	e.allocate(s, t)
+	s.version++
+	if next := e.nextWake(s, t); !math.IsInf(next, 1) {
+		e.events.Push(next, event{kind: evServerWake, server: s.id, version: s.version})
+	}
+}

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+
+	"semicont/internal/catalog"
+	"semicont/internal/placement"
+	"semicont/internal/rng"
+	"semicont/internal/simtime"
+	"semicont/internal/workload"
+)
+
+// ArrivalSource supplies the request stream. workload.Generator
+// implements it; tests substitute scripted sequences.
+type ArrivalSource interface {
+	// Next returns the next request. Arrival times must be
+	// non-decreasing.
+	Next() workload.Request
+}
+
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evServerWake
+	evFailure
+	evPause
+	evResume
+)
+
+type event struct {
+	kind    evKind
+	server  int32
+	version uint64
+	req     int64 // pause/resume target
+}
+
+// Engine runs one cluster simulation: it owns the servers, the future
+// event list, and all per-request fluid state.
+type Engine struct {
+	cfg     Config
+	cat     *catalog.Catalog
+	layout  *placement.Layout
+	source  ArrivalSource
+	events  simtime.Queue[event]
+	servers []*server
+
+	now     float64
+	horizon float64
+	metrics Metrics
+	obs     Observer
+
+	nextID  int64
+	pending workload.Request
+
+	// Heterogeneous client population (nil when homogeneous).
+	classAlias *rng.Alias
+	classRNG   *rng.PCG
+
+	// Interactivity: the pause-draw stream and the live-request index
+	// pause/resume events resolve through (nil when disabled).
+	interactRNG *rng.PCG
+	byID        map[int64]*request
+
+	// Dynamic replication state: runtime replicas layered over the
+	// static layout, per-server extra storage use, and the set of
+	// videos with a copy in flight.
+	extraHolders map[int32][]int32
+	extraUsed    []float64
+	copying      map[int32]bool
+
+	// Scratch buffers reused across events to keep the hot path
+	// allocation-free.
+	candBuf    []*request
+	touchedBuf []*server
+	visited    []bool
+	freeList   []*request
+}
+
+// NewEngine validates the configuration and assembles an engine. The
+// layout must have been built for the same number of servers.
+func NewEngine(cfg Config, cat *catalog.Catalog, lay *placement.Layout, src ArrivalSource) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lay.NumServers() != len(cfg.ServerBandwidth) {
+		return nil, fmt.Errorf("core: layout has %d servers, config %d", lay.NumServers(), len(cfg.ServerBandwidth))
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil arrival source")
+	}
+	e := &Engine{
+		cfg:       cfg,
+		cat:       cat,
+		layout:    lay,
+		source:    src,
+		servers:   make([]*server, len(cfg.ServerBandwidth)),
+		visited:   make([]bool, len(cfg.ServerBandwidth)),
+		extraUsed: make([]float64, len(cfg.ServerBandwidth)),
+	}
+	for i, b := range cfg.ServerBandwidth {
+		e.servers[i] = &server{id: int32(i), bandwidth: b, slots: cfg.Slots(i)}
+	}
+	if cfg.Interactivity.PauseProb > 0 {
+		e.interactRNG = rng.New(rng.DeriveSeed(cfg.Interactivity.Seed, 0x706175)) // "pau"
+		e.byID = make(map[int64]*request)
+	}
+	if len(cfg.ClientClasses) > 0 {
+		weights := make([]float64, len(cfg.ClientClasses))
+		for i, cl := range cfg.ClientClasses {
+			weights[i] = cl.Weight
+		}
+		alias, err := rng.NewAlias(weights)
+		if err != nil {
+			return nil, fmt.Errorf("core: client classes: %w", err)
+		}
+		e.classAlias = alias
+		e.classRNG = rng.New(rng.DeriveSeed(cfg.ClientSeed, 0xc11e47)) // "client"
+	}
+	return e, nil
+}
+
+// SetObserver installs a lifecycle observer (may be nil). Call before Run.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Metrics returns the live metrics (valid during and after Run).
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// ScheduleFailure arranges for server id to fail at time t. Streams on
+// the failed server are rescued via migration where a replica holder
+// has room, and dropped otherwise. Call before Run.
+func (e *Engine) ScheduleFailure(t float64, id int) error {
+	if id < 0 || id >= len(e.servers) {
+		return fmt.Errorf("core: no server %d", id)
+	}
+	if t < 0 {
+		return fmt.Errorf("core: failure time %g before start", t)
+	}
+	e.events.Push(t, event{kind: evFailure, server: int32(id)})
+	return nil
+}
+
+// Run processes arrivals with times in [0, horizon) and then drains all
+// in-flight transmissions. It returns the accumulated metrics.
+func (e *Engine) Run(horizon float64) (*Metrics, error) {
+	if err := e.Start(horizon); err != nil {
+		return nil, err
+	}
+	for e.Step() {
+	}
+	return &e.metrics, nil
+}
+
+// Start primes the engine for stepwise execution: arrivals with times
+// in [0, horizon) will be admitted as Step is called. Tests and
+// interactive drivers use Start + Step; Run wraps them.
+func (e *Engine) Start(horizon float64) error {
+	if horizon <= 0 {
+		return fmt.Errorf("core: horizon must be positive, got %g", horizon)
+	}
+	e.horizon = horizon
+	e.primeArrival()
+	return nil
+}
+
+// primeArrival fetches the next request from the source and schedules
+// its arrival event if it falls inside the horizon.
+func (e *Engine) primeArrival() {
+	r := e.source.Next()
+	if r.Arrival >= e.horizon {
+		return
+	}
+	e.pending = r
+	e.events.Push(r.Arrival, event{kind: evArrival})
+}
+
+// Step processes a single event. It returns false when the event list
+// is exhausted (the run is complete).
+func (e *Engine) Step() bool {
+	t, ev, ok := e.events.Pop()
+	if !ok {
+		return false
+	}
+	if t > e.now {
+		e.now = t
+	}
+	switch ev.kind {
+	case evArrival:
+		e.handleArrival(e.now)
+	case evServerWake:
+		e.handleWake(e.servers[ev.server], ev.version, e.now)
+	case evFailure:
+		e.handleFailure(e.servers[ev.server], e.now)
+	case evPause:
+		e.handleInteraction(ev.req, e.now, true)
+	case evResume:
+		e.handleInteraction(ev.req, e.now, false)
+	}
+	if e.cfg.CheckInvariants {
+		e.checkInvariants()
+	}
+	return true
+}
+
+func (e *Engine) handleArrival(t float64) {
+	req := e.pending
+	e.primeArrival()
+	e.metrics.Arrivals++
+
+	v := req.Video
+	bufCap, recvCap := e.drawClientCaps()
+	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
+		return
+	}
+	var best *server
+	for _, h := range e.holders(v) {
+		s := e.servers[h]
+		if e.cfg.Intermittent {
+			s.syncAll(t) // the admission test reads buffer levels
+		}
+		if e.canAccept(s, t) && (best == nil || s.load() < best.load()) {
+			best = s
+		}
+	}
+	viaDRM := false
+	if best == nil && e.cfg.Migration.Enabled {
+		best, viaDRM = e.admitViaMigration(int32(v), t)
+	}
+	if best == nil {
+		e.metrics.Rejected++
+		if e.obs != nil {
+			e.obs.OnReject(t, v)
+		}
+		if e.cfg.Replication.Enabled {
+			// The request is lost, but copying the video to a fresh
+			// server serves the demand the rejection revealed.
+			e.startReplication(int32(v), t)
+		}
+		return
+	}
+
+	best.syncAll(t)
+	r := e.newRequest(v, t)
+	r.bufCap, r.recvCap = bufCap, recvCap
+	best.attach(r)
+	e.metrics.Accepted++
+	e.metrics.AcceptedBytes += r.size
+	if e.obs != nil {
+		e.obs.OnAdmit(t, r.id, v, int(best.id), viaDRM)
+	}
+	e.scheduleInteraction(r, t)
+	e.reschedule(best, t)
+}
+
+// scheduleInteraction decides at admission whether this viewing pauses
+// and, if so, schedules the pause/resume pair. The pause instant is
+// derived from the playback position (uniform over the middle 90% of
+// the video), which is deterministic until the first pause.
+func (e *Engine) scheduleInteraction(r *request, t float64) {
+	if e.interactRNG == nil {
+		return
+	}
+	e.byID[r.id] = r
+	if e.interactRNG.Float64() >= e.cfg.Interactivity.PauseProb {
+		return
+	}
+	frac := e.interactRNG.UniformRange(0.05, 0.95)
+	dur := e.interactRNG.UniformRange(e.cfg.Interactivity.MinPause, e.cfg.Interactivity.MaxPause)
+	pauseAt := t + frac*r.size/e.cfg.ViewRate
+	e.events.Push(pauseAt, event{kind: evPause, req: r.id})
+	e.events.Push(pauseAt+dur, event{kind: evResume, req: r.id})
+}
+
+// handleInteraction applies a viewer pause or resume. Events whose
+// stream has already finished transmission are client-side only and
+// need no server action.
+func (e *Engine) handleInteraction(id int64, t float64, pause bool) {
+	r, ok := e.byID[id]
+	if !ok {
+		return // transmission already complete; playback state moot
+	}
+	s := e.servers[r.server]
+	s.syncAll(t)
+	if pause {
+		r.pauseViewing(t, e.cfg.ViewRate)
+		e.metrics.ViewerPauses++
+	} else {
+		r.resumeViewing(t)
+	}
+	e.reschedule(s, t)
+}
+
+func (e *Engine) handleWake(s *server, version uint64, t float64) {
+	if version != s.version || s.failed {
+		return // stale event
+	}
+	s.syncAll(t)
+	for i := 0; i < len(s.active); {
+		r := s.active[i]
+		if r.finished() {
+			e.finish(r, s, t)
+			continue // detach swapped another request into slot i
+		}
+		i++
+	}
+	for i := 0; i < len(s.copies); {
+		c := s.copies[i]
+		if c.done() {
+			e.finishCopy(s, c, t) // removes by swapping; don't advance i
+			continue
+		}
+		i++
+	}
+	e.reschedule(s, t)
+}
+
+func (e *Engine) finish(r *request, s *server, t float64) {
+	s.detach(r)
+	e.metrics.Completions++
+	e.metrics.DeliveredBytes += r.sent
+	if e.obs != nil {
+		e.obs.OnFinish(t, r.id, int(r.video), int(s.id))
+	}
+	e.recycle(r)
+}
+
+func (e *Engine) handleFailure(s *server, t float64) {
+	if s.failed {
+		return
+	}
+	s.syncAll(t)
+	s.failed = true
+	e.metrics.Failures++
+	e.abortCopies(s)
+	rescued, dropped := 0, 0
+	for len(s.active) > 0 {
+		r := s.active[0]
+		var target *server
+		// Rescue is migration: it requires DRM to be configured (the
+		// paper's fault-tolerance benefit comes from the ability to
+		// switch servers mid-stream). The hops budget is waived — a
+		// stream facing death is moved if at all possible.
+		if e.cfg.Migration.Enabled && e.migratable(r, t, true) {
+			for _, h := range e.layout.Holders(int(r.video)) {
+				c := e.servers[h]
+				if e.cfg.Intermittent {
+					c.syncAll(t) // canAccept reads buffer levels
+				}
+				if e.canAccept(c, t) && e.eligibleTarget(r, c, t) &&
+					(target == nil || c.load() < target.load()) {
+					target = c
+				}
+			}
+		}
+		if target == nil {
+			// No home for this stream: it is dropped mid-play.
+			s.detach(r)
+			e.metrics.DroppedStreams++
+			e.metrics.DeliveredBytes += r.sent
+			dropped++
+			e.recycle(r)
+			continue
+		}
+		target.syncAll(t)
+		s.detach(r)
+		target.attach(r)
+		r.hops++
+		if d := e.cfg.Migration.SwitchDelay; d > 0 {
+			r.suspendedUntil = t + d
+		}
+		e.metrics.Migrations++
+		e.metrics.RescuedStreams++
+		rescued++
+		if e.obs != nil {
+			e.obs.OnMigrate(t, r.id, int(r.video), int(s.id), int(target.id), true)
+		}
+		e.reschedule(target, t)
+	}
+	s.version++ // cancel any pending wake; the server is dead
+	if e.obs != nil {
+		e.obs.OnFailure(t, int(s.id), rescued, dropped)
+	}
+}
+
+func (e *Engine) newRequest(video int, t float64) *request {
+	var r *request
+	if n := len(e.freeList); n > 0 {
+		r = e.freeList[n-1]
+		e.freeList[n-1] = nil
+		e.freeList = e.freeList[:n-1]
+		*r = request{}
+	} else {
+		r = new(request)
+	}
+	e.nextID++
+	r.id = e.nextID
+	r.video = int32(video)
+	r.size = e.cat.Video(video).Size
+	r.start = t
+	r.last = t
+	r.viewSyncT = t
+	return r
+}
+
+// drawClientCaps decides the arriving client's capabilities: one draw
+// per arrival (admitted or not), so the class stream stays aligned
+// regardless of admission outcomes.
+func (e *Engine) drawClientCaps() (bufCap, recvCap float64) {
+	if e.classAlias != nil {
+		cl := e.cfg.ClientClasses[e.classAlias.Sample(e.classRNG)]
+		return cl.BufferCapacity, cl.ReceiveCap
+	}
+	return e.cfg.BufferCapacity, e.cfg.ReceiveCap
+}
+
+func (e *Engine) recycle(r *request) {
+	if e.byID != nil {
+		delete(e.byID, r.id)
+	}
+	e.freeList = append(e.freeList, r)
+}
+
+// checkInvariants asserts the fluid-model and admission invariants on
+// every server. It panics with a diagnostic on violation; tests run
+// with Config.CheckInvariants to exercise it.
+func (e *Engine) checkInvariants() {
+	bview := e.cfg.ViewRate
+	for _, s := range e.servers {
+		if s.failed {
+			if len(s.active) != 0 {
+				panic(fmt.Sprintf("core: failed server %d still has %d streams", s.id, len(s.active)))
+			}
+			continue
+		}
+		// Minimum-flow admission caps concurrent streams at the slot
+		// count; intermittent admission deliberately over-subscribes
+		// (paused streams play from their buffers).
+		if !e.cfg.Intermittent && len(s.active) > s.slots {
+			panic(fmt.Sprintf("core: server %d holds %d streams, capacity %d", s.id, len(s.active), s.slots))
+		}
+		total := 0.0
+		for i, r := range s.active {
+			if int(r.slot) != i {
+				panic(fmt.Sprintf("core: server %d slot index corrupt for request %d", s.id, r.id))
+			}
+			total += r.rate
+			if r.sent > r.size+dataEps {
+				panic(fmt.Sprintf("core: request %d sent %g > size %g", r.id, r.sent, r.size))
+			}
+			if !e.cfg.Intermittent && !r.suspended(r.last) && !r.finished() && !r.pausedView && r.rate < bview-dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g below minimum flow %g", r.id, r.rate, bview))
+			}
+			if e.cfg.Workahead && r.recvCap > 0 && r.rate > r.recvCap+dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g exceeds receive cap %g", r.id, r.rate, r.recvCap))
+			}
+			if !e.cfg.Workahead && !r.suspended(r.last) && r.rate > bview+dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g with workahead disabled", r.id, r.rate))
+			}
+			buf := r.sent - r.viewedAt(r.last, bview)
+			// Underruns are impossible under minimum-flow scheduling;
+			// the intermittent heuristic risks them by design and
+			// accounts for them as glitches instead.
+			if buf < -dataEps && !e.cfg.Intermittent {
+				panic(fmt.Sprintf("core: request %d buffer underrun %g at t=%g", r.id, buf, r.last))
+			}
+			if buf > r.bufCap+bview*timeEps+dataEps {
+				panic(fmt.Sprintf("core: request %d buffer %g exceeds capacity %g", r.id, buf, r.bufCap))
+			}
+		}
+		for _, c := range s.copies {
+			total += c.rate
+			if c.sent > c.size+dataEps {
+				panic(fmt.Sprintf("core: copy of video %d sent %g > size %g", c.video, c.sent, c.size))
+			}
+			if c.rate > e.copyRateCap()+dataEps {
+				panic(fmt.Sprintf("core: copy of video %d rate %g exceeds cap %g", c.video, c.rate, e.copyRateCap()))
+			}
+		}
+		if total > s.bandwidth+dataEps {
+			panic(fmt.Sprintf("core: server %d allocated %g of %g Mb/s", s.id, total, s.bandwidth))
+		}
+	}
+}
+
+// --- introspection for tests and tracing ---
+
+// ServerSnapshot summarizes one server's state.
+type ServerSnapshot struct {
+	ID        int
+	Load      int     // unfinished streams
+	Slots     int     // minimum-flow capacity
+	Allocated float64 // Σ rates, Mb/s
+	Failed    bool
+}
+
+// RequestSnapshot summarizes one in-flight request.
+type RequestSnapshot struct {
+	ID        int64
+	Video     int
+	Server    int
+	Size      float64
+	Sent      float64
+	Rate      float64
+	Buffer    float64
+	Hops      int
+	Suspended bool
+	Glitched  bool
+}
+
+// Snapshot returns the state of every server at the current time.
+func (e *Engine) Snapshot() []ServerSnapshot {
+	out := make([]ServerSnapshot, len(e.servers))
+	for i, s := range e.servers {
+		total := 0.0
+		for _, r := range s.active {
+			total += r.rate
+		}
+		out[i] = ServerSnapshot{
+			ID: i, Load: s.load(), Slots: s.slots, Allocated: total, Failed: s.failed,
+		}
+	}
+	return out
+}
+
+// Requests returns snapshots of every in-flight request, synced to the
+// current simulation time, ordered by request id.
+func (e *Engine) Requests() []RequestSnapshot {
+	var out []RequestSnapshot
+	for _, s := range e.servers {
+		for _, r := range s.active {
+			r.syncTo(e.now)
+			out = append(out, RequestSnapshot{
+				ID: r.id, Video: int(r.video), Server: int(r.server),
+				Size: r.size, Sent: r.sent, Rate: r.rate,
+				Buffer:    r.bufferAt(e.now, e.cfg.ViewRate),
+				Hops:      int(r.hops),
+				Suspended: r.suspended(e.now),
+				Glitched:  r.glitched,
+			})
+		}
+	}
+	sortRequestSnapshots(out)
+	return out
+}
+
+func sortRequestSnapshots(s []RequestSnapshot) {
+	// Insertion sort: snapshots are test-path only and nearly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/workload"
+)
+
+// failScenario: two servers with two slots each; video 0 replicated on
+// both, video 1 only on server 1 (so server 1 carries streams that can
+// be rescued to server 0 only via video 0).
+func TestFailureDropsWithoutDRM(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{ServerBandwidth: []float64{6, 6}, ViewRate: 3}
+	e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, []workload.Request{
+		{Arrival: 0, Video: 0}, // → server 0
+		{Arrival: 1, Video: 0}, // → server 1
+		{Arrival: 2, Video: 0}, // → server 0
+		{Arrival: 3, Video: 0}, // → server 1
+	})
+	if err := e.ScheduleFailure(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.Failures != 1 {
+		t.Fatalf("Failures = %d", m.Failures)
+	}
+	if m.RescuedStreams != 0 || m.DroppedStreams != 2 {
+		t.Fatalf("rescued=%d dropped=%d, want 0/2 without DRM", m.RescuedStreams, m.DroppedStreams)
+	}
+	// Dropped streams (arrived t=1 and t=3, killed at t=100) deliver
+	// only 99 s and 97 s of data at 3 Mb/s; survivors deliver in full.
+	wantDelivered := 2*3600.0 + 297 + 291
+	if !approx(m.DeliveredBytes, wantDelivered, 1e-6) {
+		t.Errorf("DeliveredBytes = %v, want %v", m.DeliveredBytes, wantDelivered)
+	}
+	if m.Completions != 2 {
+		t.Errorf("Completions = %d, want 2", m.Completions)
+	}
+}
+
+func TestFailureRescuesWithDRM(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{12, 6}, // server 0 has room for rescues
+		ViewRate:        3,
+		Migration:       MigrationConfig{Enabled: true, MaxHops: 1, MaxChain: 1},
+	}
+	obs := newMigrateObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, []workload.Request{
+		{Arrival: 0, Video: 0}, // → server 0 (tie, lower id)
+		{Arrival: 1, Video: 0}, // → server 1
+		{Arrival: 2, Video: 0}, // → server 1? no: loads 1,1 tie → 0
+		{Arrival: 3, Video: 0}, // → server 1
+	})
+	e.SetObserver(obs)
+	if err := e.ScheduleFailure(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.RescuedStreams != 2 || m.DroppedStreams != 0 {
+		t.Fatalf("rescued=%d dropped=%d, want 2/0", m.RescuedStreams, m.DroppedStreams)
+	}
+	// Rescues appear as migrations flagged rescue=true.
+	rescues := 0
+	for _, mv := range obs.moves {
+		if mv.rescue && mv.from == 1 && mv.to == 0 {
+			rescues++
+		}
+	}
+	if rescues != 2 {
+		t.Errorf("observer saw %d rescue moves, want 2", rescues)
+	}
+	// Everything completes in full.
+	if m.Completions != 4 || !approx(m.DeliveredBytes, 4*3600, 1e-6) {
+		t.Errorf("completions=%d delivered=%v", m.Completions, m.DeliveredBytes)
+	}
+}
+
+func TestFailureRescueWaivesHopsBudget(t *testing.T) {
+	// MaxHops=0 forbids admission-time migration entirely, but a stream
+	// on a dying server is still rescued.
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{6, 6},
+		ViewRate:        3,
+		Migration:       MigrationConfig{Enabled: true, MaxHops: 0, MaxChain: 1},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, []workload.Request{
+		{Arrival: 0, Video: 0}, // → server 0
+		{Arrival: 1, Video: 0}, // → server 1
+	})
+	if err := e.ScheduleFailure(50, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.RescuedStreams != 1 || m.DroppedStreams != 0 {
+		t.Fatalf("rescued=%d dropped=%d, want 1/0 (rescue ignores hops budget)", m.RescuedStreams, m.DroppedStreams)
+	}
+}
+
+func TestFailedServerRejectsNewArrivals(t *testing.T) {
+	cat := fixedCatalog(t, 2, 1200)
+	cfg := Config{ServerBandwidth: []float64{6, 6}, ViewRate: 3}
+	// Video 1 only on server 1.
+	e := newTestEngine(t, cfg, cat, [][]int{{0}, {1}}, []workload.Request{
+		{Arrival: 200, Video: 1}, // after the failure: nowhere to go
+		{Arrival: 201, Video: 0}, // server 0 alive: accepted
+	})
+	if err := e.ScheduleFailure(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.Accepted != 1 || m.Rejected != 1 {
+		t.Fatalf("accepted=%d rejected=%d, want 1/1", m.Accepted, m.Rejected)
+	}
+}
+
+func TestDoubleFailureEventIdempotent(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{ServerBandwidth: []float64{6}, ViewRate: 3}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},
+	})
+	if err := e.ScheduleFailure(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleFailure(60, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.Failures != 1 {
+		t.Errorf("Failures = %d, want 1 (second event is a no-op)", m.Failures)
+	}
+	if m.DroppedStreams != 1 {
+		t.Errorf("DroppedStreams = %d, want 1", m.DroppedStreams)
+	}
+}
+
+func TestRescuedStreamKeepsPlaying(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{6, 6},
+		ViewRate:        3,
+		Migration:       MigrationConfig{Enabled: true, MaxHops: 1, MaxChain: 1},
+	}
+	obs := newMigrateObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, []workload.Request{
+		{Arrival: 0, Video: 0}, // → server 0
+		{Arrival: 1, Video: 0}, // → server 1, rescued at t=100
+	})
+	e.SetObserver(obs)
+	if err := e.ScheduleFailure(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.RescuedStreams != 1 {
+		t.Fatalf("rescued=%d", m.RescuedStreams)
+	}
+	// The rescued stream finishes at its original deadline, 1201.
+	if got := obs.finishes[2]; !approx(got, 1201, 1e-6) {
+		t.Errorf("rescued stream finished at %v, want 1201", got)
+	}
+	if m.Completions != 2 {
+		t.Errorf("completions = %d", m.Completions)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"semicont/internal/catalog"
+	"semicont/internal/placement"
+	"semicont/internal/rng"
+	"semicont/internal/workload"
+)
+
+// scriptSource replays a fixed list of requests, then reports +Inf so
+// the engine schedules nothing further.
+type scriptSource struct {
+	reqs []workload.Request
+	i    int
+}
+
+func (s *scriptSource) Next() workload.Request {
+	if s.i < len(s.reqs) {
+		r := s.reqs[s.i]
+		s.i++
+		return r
+	}
+	return workload.Request{Arrival: math.Inf(1)}
+}
+
+// fixedCatalog builds n videos of identical length (seconds) at 3 Mb/s.
+func fixedCatalog(t *testing.T, n int, lengthSec float64) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: n, MinLength: lengthSec, MaxLength: lengthSec, ViewRate: 3, Theta: 1,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// manualLayout wraps placement.Manual with test fatals.
+func manualLayout(t *testing.T, cat *catalog.Catalog, holders [][]int, numServers int) *placement.Layout {
+	t.Helper()
+	lay, err := placement.Manual(cat, holders, numServers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+// newTestEngine builds an engine over fixed-length videos with an
+// explicit layout and scripted arrivals. CheckInvariants is always on.
+func newTestEngine(t *testing.T, cfg Config, cat *catalog.Catalog, holders [][]int, reqs []workload.Request) *Engine {
+	t.Helper()
+	cfg.CheckInvariants = true
+	lay := manualLayout(t, cat, holders, len(cfg.ServerBandwidth))
+	e, err := NewEngine(cfg, cat, lay, &scriptSource{reqs: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// run drives the engine to completion with the given horizon and
+// returns the metrics.
+func run(t *testing.T, e *Engine, horizon float64) *Metrics {
+	t.Helper()
+	m, err := e.Run(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/workload"
+)
+
+func TestInteractivityValidation(t *testing.T) {
+	cases := []struct {
+		cfg InteractivityConfig
+		ok  bool
+	}{
+		{InteractivityConfig{}, true},
+		{InteractivityConfig{PauseProb: 0.5, MinPause: 10, MaxPause: 60}, true},
+		{InteractivityConfig{PauseProb: -0.1}, false},
+		{InteractivityConfig{PauseProb: 1.5}, false},
+		{InteractivityConfig{PauseProb: 0.5}, false},                             // no durations
+		{InteractivityConfig{PauseProb: 0.5, MinPause: 60, MaxPause: 10}, false}, // inverted
+	}
+	for i, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+// pauseEngine runs a single stream with a deterministic pause injected
+// via the event queue (PauseProb=1 covers the random path elsewhere).
+func TestPauseExtendsBufferAndStopsDrain(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200) // 3600 Mb
+	cfg := Config{
+		ServerBandwidth: []float64{30},
+		ViewRate:        3,
+		Workahead:       true,
+		BufferCapacity:  600,
+		ReceiveCap:      30,
+		Interactivity:   InteractivityConfig{PauseProb: 1, MinPause: 100, MaxPause: 100},
+	}
+	obs := newFinishObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{{Arrival: 0, Video: 0}})
+	e.SetObserver(obs)
+	m := run(t, e, 4000)
+	if m.Accepted != 1 || m.Completions != 1 {
+		t.Fatalf("accepted=%d completions=%d", m.Accepted, m.Completions)
+	}
+	if m.ViewerPauses != 1 {
+		t.Errorf("ViewerPauses = %d, want 1", m.ViewerPauses)
+	}
+	// Conservation still holds.
+	if !approx(m.DeliveredBytes, 3600, 1e-6) {
+		t.Errorf("delivered %v", m.DeliveredBytes)
+	}
+}
+
+func TestPauseWithoutBufferStopsTransmission(t *testing.T) {
+	// No staging buffer: when the viewer pauses, the client can store
+	// nothing, so the server must stop sending — the stream finishes a
+	// pause-duration later than it otherwise would.
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{30},
+		ViewRate:        3,
+		// no workahead, no buffer
+		Interactivity: InteractivityConfig{PauseProb: 1, MinPause: 200, MaxPause: 200},
+	}
+	obs := newFinishObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{{Arrival: 0, Video: 0}})
+	e.SetObserver(obs)
+	m := run(t, e, 5000)
+	if m.ViewerPauses != 1 {
+		t.Fatalf("ViewerPauses = %d", m.ViewerPauses)
+	}
+	// Finish = 1200 s of transmission + the 200 s stall.
+	if got := obs.finishes[1]; !approx(got, 1400, 1e-6) {
+		t.Errorf("finish at %v, want 1400", got)
+	}
+	if m.Completions != 1 {
+		t.Errorf("completions = %d", m.Completions)
+	}
+}
+
+func TestPauseNeverAcceleratesTransmission(t *testing.T) {
+	// Total transmittable data by time T is viewed(T) + bufCap; a pause
+	// freezes viewed, so transmission completion can only move later
+	// (by exactly the pause duration when the buffer is pinned at
+	// capacity around the pause, as here: the buffer fills at t≈22 and
+	// every legal pause point lies after t=60).
+	finishWith := func(interact InteractivityConfig) float64 {
+		cat := fixedCatalog(t, 1, 1200)
+		cfg := Config{
+			ServerBandwidth: []float64{30},
+			ViewRate:        3,
+			Workahead:       true,
+			BufferCapacity:  600,
+			ReceiveCap:      30,
+			Interactivity:   interact,
+		}
+		obs := newFinishObserver()
+		e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{{Arrival: 0, Video: 0}})
+		e.SetObserver(obs)
+		run(t, e, 5000)
+		return obs.finishes[1]
+	}
+	plain := finishWith(InteractivityConfig{})
+	if !approx(plain, 1000, 1e-6) {
+		t.Fatalf("plain finish = %v, want 1000 (22.2 s fill + 2934 Mb at b_view)", plain)
+	}
+	paused := finishWith(InteractivityConfig{PauseProb: 1, MinPause: 300, MaxPause: 300})
+	if paused < plain-1e-6 {
+		t.Fatalf("pause accelerated transmission: %v < %v", paused, plain)
+	}
+	// Either the draw paused after the transmission finished (no shift)
+	// or mid-transmission (shift by the full 300 s, since the buffer is
+	// capped for the whole window).
+	if !approx(paused, plain, 1e-6) && !approx(paused, plain+300, 1e-6) {
+		t.Errorf("paused finish = %v, want %v or %v", paused, plain, plain+300)
+	}
+}
+
+func TestPauseAfterTransmissionCompleteIsMoot(t *testing.T) {
+	// A fast transmission finishes long before the viewer's pause
+	// point; the pause event must be ignored gracefully.
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{100},
+		ViewRate:        3,
+		Workahead:       true,
+		BufferCapacity:  1e9,
+		ReceiveCap:      0, // finish at t=36, pause lands mid-playback later
+		Interactivity:   InteractivityConfig{PauseProb: 1, MinPause: 50, MaxPause: 50},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{{Arrival: 0, Video: 0}})
+	m := run(t, e, 5000)
+	if m.Completions != 1 {
+		t.Fatalf("completions = %d", m.Completions)
+	}
+	// The pause might race the 36 s finish only for pause points below
+	// 9% of playback; with the fixed seed either outcome is legal, but
+	// the run must stay consistent (invariants checked throughout).
+	if m.ViewerPauses > 1 {
+		t.Errorf("ViewerPauses = %d", m.ViewerPauses)
+	}
+}
+
+func TestInteractivityDeterministic(t *testing.T) {
+	build := func() *Metrics {
+		cat := fixedCatalog(t, 2, 900)
+		cfg := Config{
+			ServerBandwidth: []float64{30, 30},
+			ViewRate:        3,
+			Workahead:       true,
+			BufferCapacity:  540,
+			ReceiveCap:      30,
+			Interactivity:   InteractivityConfig{PauseProb: 0.5, MinPause: 30, MaxPause: 300, Seed: 5},
+		}
+		reqs := make([]workload.Request, 0, 40)
+		for i := 0; i < 40; i++ {
+			reqs = append(reqs, workload.Request{Arrival: float64(i * 25), Video: i % 2})
+		}
+		e := newTestEngine(t, cfg, cat, [][]int{{0, 1}, {0, 1}}, reqs)
+		return run(t, e, 4000)
+	}
+	a, b := build(), build()
+	if *a != *b {
+		t.Errorf("interactive runs with equal seeds diverged")
+	}
+	if a.ViewerPauses == 0 {
+		t.Error("no pauses occurred at PauseProb=0.5 over 40 streams")
+	}
+}
+
+func TestPausedViewerNotUrgent(t *testing.T) {
+	cfg := Config{
+		ServerBandwidth: []float64{30}, ViewRate: 3,
+		Workahead: true, BufferCapacity: 1e6, Intermittent: true,
+	}
+	e := &Engine{cfg: cfg}
+	s := mkServer(30, 3)
+	r := addReq(e, s, 1, 3600, 0, 0, 0) // empty buffer: urgent...
+	if got := e.urgentCount(s, 0); got != 1 {
+		t.Fatalf("urgentCount = %d, want 1", got)
+	}
+	r.pausedView = true // ...unless the viewer has paused
+	if got := e.urgentCount(s, 0); got != 0 {
+		t.Errorf("urgentCount = %d, want 0 for a paused viewer", got)
+	}
+}
+
+func TestViewedAtWhilePaused(t *testing.T) {
+	r := &request{size: 3600, start: 0, viewSyncT: 0}
+	const bview = 3.0
+	if got := r.viewedAt(100, bview); !approx(got, 300, 1e-9) {
+		t.Fatalf("viewedAt(100) = %v", got)
+	}
+	r.pauseViewing(100, bview)
+	if got := r.viewedAt(500, bview); !approx(got, 300, 1e-9) {
+		t.Errorf("viewedAt while paused = %v, want frozen 300", got)
+	}
+	r.resumeViewing(500)
+	if got := r.viewedAt(600, bview); !approx(got, 600, 1e-9) {
+		t.Errorf("viewedAt after resume = %v, want 600", got)
+	}
+	if r.drainRate(bview) != bview {
+		t.Errorf("drainRate after resume = %v", r.drainRate(bview))
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import "sort"
+
+// Intermittent scheduling (Section 3.3). The paper restricts itself to
+// minimum-flow algorithms because "the decision procedure for the
+// optimal intermittent algorithm is impractical to apply in real time";
+// this file implements the natural heuristic member of the intermittent
+// class so the restriction can be evaluated quantitatively:
+//
+//   - a stream whose client buffer holds more than ResumeGuard seconds
+//     of playback may be paused (rate 0) while the client plays from
+//     its buffer;
+//   - bandwidth goes to streams in ascending-buffer order (the most
+//     urgent first), so paused streams resume as they drain;
+//   - admission only requires the *urgent* streams (buffer below the
+//     guard) to fit in the minimum-flow slots, so a server can carry
+//     more streams than ⌊B/b_view⌋.
+//
+// The heuristic is not safe: urgent streams can outnumber slots later
+// (paused streams drain concurrently while nothing finishes), in which
+// case some stream's buffer runs dry mid-play. The engine counts those
+// streams in Metrics.GlitchedStreams — the ablation experiment shows
+// the acceptance gain intermittent scheduling buys and the glitches it
+// costs, which is the paper's justification for minimum-flow.
+
+// allocateIntermittent assigns bandwidth in ascending-buffer order:
+// urgent streams first, then the rest while bandwidth lasts; leftover
+// streams are paused. Spare bandwidth still stages ahead via EFTF.
+// Requests must be synced to t.
+func (e *Engine) allocateIntermittent(s *server, t float64) {
+	bview := e.cfg.ViewRate
+	order := e.candBuf[:0]
+	for _, r := range s.active {
+		if r.suspended(t) {
+			r.rate = 0
+			continue
+		}
+		// A negative raw buffer means playback outpaced delivery at some
+		// point since the last allocation: the client stalled. Record
+		// the glitch on first sight (the raw buffer stays negative until
+		// the stream receives more than b_view again, so the first
+		// allocation after the underflow always observes it).
+		if !r.glitched && r.sent-r.viewedAt(t, bview) < -dataEps {
+			r.glitched = true
+			e.metrics.GlitchedStreams++
+		}
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := order[i].bufferAt(t, bview), order[j].bufferAt(t, bview)
+		if bi != bj {
+			return bi < bj
+		}
+		return order[i].id < order[j].id
+	})
+	avail := s.bandwidth
+	for _, r := range order {
+		if e.pausedAndFull(r, t) {
+			r.rate = 0
+			continue
+		}
+		if avail >= bview-dataEps {
+			r.rate = bview
+			avail -= bview
+			continue
+		}
+		r.rate = 0
+		// A stream paused with a dry buffer cannot keep playing: the
+		// heuristic has over-admitted. Record the glitch once.
+		if !r.glitched && r.bufferAt(t, bview) <= dataEps && !r.finished() {
+			r.glitched = true
+			e.metrics.GlitchedStreams++
+		}
+	}
+	e.candBuf = order
+	avail = e.allocateCopies(s, avail)
+	if avail > dataEps {
+		e.spreadSpare(s, t, avail)
+	}
+}
+
+// canAccept is the admission test for one server: minimum-flow slot
+// availability normally, urgent-stream availability in intermittent
+// mode. Intermittent mode reads buffers, so s must be synced to t.
+func (e *Engine) canAccept(s *server, t float64) bool {
+	if s.failed {
+		return false
+	}
+	if !e.cfg.Intermittent {
+		return s.hasSlot()
+	}
+	return e.urgentCount(s, t)+1 <= s.slots
+}
+
+// urgentCount returns the number of streams on s that must be
+// transmitting: unfinished, not suspended, with less than ResumeGuard
+// seconds of playback buffered.
+func (e *Engine) urgentCount(s *server, t float64) int {
+	guard := e.resumeGuard() * e.cfg.ViewRate
+	n := 0
+	for _, r := range s.active {
+		if r.suspended(t) || r.finished() || r.pausedView {
+			// Paused viewers consume nothing until they resume.
+			continue
+		}
+		if r.bufferAt(t, e.cfg.ViewRate) < guard {
+			n++
+		}
+	}
+	return n
+}
+
+// resumeGuard returns the configured guard with its 30 s default.
+func (e *Engine) resumeGuard() float64 {
+	if e.cfg.ResumeGuard > 0 {
+		return e.cfg.ResumeGuard
+	}
+	return 30
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/catalog"
+	"semicont/internal/workload"
+)
+
+func TestIntermittentRequiresWorkahead(t *testing.T) {
+	cfg := Config{ServerBandwidth: []float64{100}, ViewRate: 3, Intermittent: true}
+	if err := cfg.Validate(); err == nil {
+		t.Error("intermittent without workahead accepted")
+	}
+	cfg.Workahead = true
+	cfg.BufferCapacity = 600
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid intermittent config rejected: %v", err)
+	}
+	cfg.ResumeGuard = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ResumeGuard accepted")
+	}
+}
+
+// intermittentScenario: a 2-slot server (6 Mb/s). Stream A buffers
+// ahead while alone; once two later streams hold both slots, A is
+// paused and plays from its buffer — the server carries three streams
+// on two slots, which minimum-flow admission can never do.
+func intermittentScenario(t *testing.T, intermittent bool) *Engine {
+	t.Helper()
+	cat := fixedCatalog(t, 1, 1200) // 3600 Mb videos
+	cfg := Config{
+		ServerBandwidth: []float64{6},
+		ViewRate:        3,
+		Workahead:       true,
+		BufferCapacity:  1e6, // effectively unbounded staging
+		ReceiveCap:      0,
+		Intermittent:    intermittent,
+	}
+	return newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},   // A: buffers at 6 Mb/s while alone
+		{Arrival: 100, Video: 0}, // B
+		{Arrival: 200, Video: 0}, // C: third stream on a 2-slot server
+	})
+}
+
+func TestIntermittentOverSubscribes(t *testing.T) {
+	// Minimum-flow: the third arrival is rejected.
+	m := run(t, intermittentScenario(t, false), 3000)
+	if m.Accepted != 2 || m.Rejected != 1 {
+		t.Fatalf("min-flow: accepted=%d rejected=%d, want 2/1", m.Accepted, m.Rejected)
+	}
+	if m.GlitchedStreams != 0 {
+		t.Errorf("min-flow glitched %d streams", m.GlitchedStreams)
+	}
+
+	// Intermittent: A has 300 Mb (100 s) buffered at t=200, far above
+	// the 30 s guard, so it is pausable and C is admitted.
+	m = run(t, intermittentScenario(t, true), 3000)
+	if m.Accepted != 3 || m.Rejected != 0 {
+		t.Fatalf("intermittent: accepted=%d rejected=%d, want 3/0", m.Accepted, m.Rejected)
+	}
+	// The price: A's 100 s of buffer cannot cover the ~1000 s it stays
+	// paused (B and C never release their slots in time), so A glitches.
+	if m.GlitchedStreams != 1 {
+		t.Errorf("intermittent: glitched = %d, want 1", m.GlitchedStreams)
+	}
+	// All transmissions still complete and conservation holds.
+	if m.Completions != 3 || !approx(m.DeliveredBytes, m.AcceptedBytes, 1e-3) {
+		t.Errorf("completions=%d delivered=%v accepted=%v", m.Completions, m.DeliveredBytes, m.AcceptedBytes)
+	}
+}
+
+func TestIntermittentGlitchFreeWhenCovered(t *testing.T) {
+	// The pause is covered when a slot frees before the paused stream's
+	// buffer drains. Video 0 is a 600 s feature; video 1 a 60 s clip.
+	// A (video 0) buffers 300 Mb (100 s of playback) while alone, is
+	// paused when the short clip C arrives at t=200, and C's slot frees
+	// at t=260 — 40 s before A's buffer would have run dry.
+	cat, err := catalog.FromVideos([]catalog.Video{
+		{Length: 600, Prob: 0.5},
+		{Length: 60, Prob: 0.5},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		ServerBandwidth: []float64{6},
+		ViewRate:        3,
+		Workahead:       true,
+		BufferCapacity:  1e6,
+		Intermittent:    true,
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}, {0}}, []workload.Request{
+		{Arrival: 0, Video: 0},   // A: rate 6 while alone
+		{Arrival: 100, Video: 0}, // B: both slots now busy
+		{Arrival: 200, Video: 1}, // C (60 s clip): A pauses
+	})
+	m := run(t, e, 3000)
+	if m.Accepted != 3 {
+		t.Fatalf("accepted=%d, want 3", m.Accepted)
+	}
+	if m.GlitchedStreams != 0 {
+		t.Errorf("glitched = %d, want 0 (buffer covers the pause)", m.GlitchedStreams)
+	}
+	if m.Completions != 3 || !approx(m.DeliveredBytes, m.AcceptedBytes, 1e-3) {
+		t.Errorf("completions=%d delivered=%v accepted=%v", m.Completions, m.DeliveredBytes, m.AcceptedBytes)
+	}
+}
+
+func TestIntermittentAcceptsAtLeastMinimumFlow(t *testing.T) {
+	// On random workloads the intermittent heuristic should accept at
+	// least as many requests as minimum-flow (it can always transmit
+	// continuously), modulo tiny sample-path divergence.
+	for seed := uint64(1); seed <= 8; seed++ {
+		base, _ := buildRandomSim(t, seed, true, false)
+		mb, err := base.Run(2 * 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, _ := buildRandomSim(t, seed, true, false)
+		inter.cfg.Intermittent = true
+		mi, err := inter.Run(2 * 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(mi.Accepted) < float64(mb.Accepted)*0.98 {
+			t.Errorf("seed %d: intermittent accepted %d < min-flow %d", seed, mi.Accepted, mb.Accepted)
+		}
+	}
+}
+
+func TestResumeGuardDefault(t *testing.T) {
+	e := &Engine{cfg: Config{ResumeGuard: 0}}
+	if e.resumeGuard() != 30 {
+		t.Errorf("default guard = %v, want 30", e.resumeGuard())
+	}
+	e.cfg.ResumeGuard = 10
+	if e.resumeGuard() != 10 {
+		t.Errorf("guard = %v, want 10", e.resumeGuard())
+	}
+}
+
+func TestUrgentCount(t *testing.T) {
+	cfg := Config{ServerBandwidth: []float64{30}, ViewRate: 3, Workahead: true, BufferCapacity: 1e6, Intermittent: true}
+	e := &Engine{cfg: cfg}
+	s := mkServer(30, 3)
+	// Buffer 300 Mb (100 s): not urgent. Buffer 30 Mb (10 s): urgent.
+	addReq(e, s, 1, 3600, 300, 0, 0)
+	addReq(e, s, 2, 3600, 30, 0, 0)
+	addReq(e, s, 3, 3600, 0, 0, 0) // empty: urgent
+	if got := e.urgentCount(s, 0); got != 2 {
+		t.Errorf("urgentCount = %d, want 2", got)
+	}
+}
+
+func TestIntermittentPausesFullestBufferFirst(t *testing.T) {
+	cfg := Config{
+		ServerBandwidth: []float64{6}, ViewRate: 3,
+		Workahead: true, BufferCapacity: 1e6, Intermittent: true,
+	}
+	e := &Engine{cfg: cfg}
+	s := mkServer(6, 3)
+	rich := addReq(e, s, 1, 3600, 900, 0, 0) // 900 Mb buffered
+	mid := addReq(e, s, 2, 3600, 300, 0, 0)  // 300 Mb buffered
+	poor := addReq(e, s, 3, 3600, 0, 0, 0)   // nothing buffered
+	e.allocate(s, 0)
+	if poor.rate < 3-dataEps || mid.rate < 3-dataEps {
+		t.Errorf("urgent streams not served: poor=%v mid=%v", poor.rate, mid.rate)
+	}
+	if rich.rate != 0 {
+		t.Errorf("fullest-buffer stream rate = %v, want paused", rich.rate)
+	}
+}

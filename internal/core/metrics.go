@@ -1,0 +1,89 @@
+package core
+
+// Metrics accumulates the quantities the paper reports plus supporting
+// counters for validation and the extension experiments.
+type Metrics struct {
+	Arrivals int64 // requests offered
+	Accepted int64 // requests admitted
+	Rejected int64 // requests turned away
+
+	// AcceptedBytes is the sum of the sizes of all accepted
+	// transmissions in Mb — the numerator of the paper's utilization
+	// metric ("we sum the size of all transmissions", Section 4.1).
+	AcceptedBytes float64
+
+	// DeliveredBytes is the volume actually transmitted, accumulated as
+	// requests finish or are dropped. When a run drains completely and
+	// no failures occur it equals AcceptedBytes; tests use this as a
+	// conservation check.
+	DeliveredBytes float64
+
+	Completions int64 // transmissions fully delivered
+
+	// Migration accounting.
+	Migrations                int64 // individual request moves (incl. rescues)
+	AdmissionsViaDRM          int64 // arrivals admitted only thanks to migration
+	ChainLengthTotal          int64 // Σ chain lengths over DRM admissions
+	MaxChainUsed              int   // longest chain actually executed
+	MigrationsRefusedByBuffer int64 // candidate moves vetoed by SwitchDelay buffer check
+
+	// GlitchedStreams counts streams whose playback buffer ran dry
+	// while paused by the intermittent scheduler (always zero under
+	// minimum-flow scheduling, whose admission rule guarantees
+	// continuous playback).
+	GlitchedStreams int64
+
+	// ViewerPauses counts interactivity pause events applied to live
+	// transmissions.
+	ViewerPauses int64
+
+	// Patching accounting: PatchedJoins counts requests served by
+	// tapping an ongoing transmission; SharedMb is the data those
+	// clients received over the shared stream (delivered without
+	// consuming server bandwidth; not part of AcceptedBytes).
+	PatchedJoins int64
+	SharedMb     float64
+
+	// Replication accounting.
+	ReplicationsStarted   int64   // copy jobs begun
+	ReplicationsCompleted int64   // replicas installed
+	ReplicationsAborted   int64   // copies cancelled by failures
+	ReplicatedMb          float64 // replica bytes moved
+
+	// Failure accounting.
+	Failures       int64 // server failure events
+	RescuedStreams int64 // streams migrated off a failing server
+	DroppedStreams int64 // streams lost because no rescue target existed
+}
+
+// Utilization returns delivered load as a fraction of cluster capacity
+// over the horizon: Σ accepted sizes / (total bandwidth × horizon).
+func (m *Metrics) Utilization(totalBandwidth, horizon float64) float64 {
+	if totalBandwidth <= 0 || horizon <= 0 {
+		return 0
+	}
+	return m.AcceptedBytes / (totalBandwidth * horizon)
+}
+
+// RejectionRatio returns the fraction of arrivals rejected.
+func (m *Metrics) RejectionRatio() float64 {
+	if m.Arrivals == 0 {
+		return 0
+	}
+	return float64(m.Rejected) / float64(m.Arrivals)
+}
+
+// Observer receives engine lifecycle notifications; internal/trace
+// implements it to record event logs. All methods are called with the
+// simulation time first. Implementations must not retain pointers into
+// the engine.
+type Observer interface {
+	OnAdmit(t float64, reqID int64, video, server int, viaMigration bool)
+	OnReject(t float64, video int)
+	OnMigrate(t float64, reqID int64, video, from, to int, rescue bool)
+	OnFinish(t float64, reqID int64, video, server int)
+	OnFailure(t float64, server int, rescued, dropped int)
+	// OnReplicate reports a dynamic replica of video installed on
+	// server `to`, copied from server `from`.
+	OnReplicate(t float64, video, from, to int)
+}

@@ -1,0 +1,130 @@
+package core
+
+import "fmt"
+
+// Patching (Gao & Towsley; Sen et al. — cited by the paper's related
+// work, and "patching … stream merging" is listed as future work in
+// Section 6). A client arriving shortly after another request for the
+// same video *taps* that ongoing transmission (a multicast join, free
+// of server bandwidth) and receives only the part it missed — the
+// prefix the primary has already sent — as a short unicast "patch".
+// The tapper buffers the shared stream while it plays the patch, so
+// patching needs exactly the client staging disk this paper
+// introduces: the join is legal only if the missed prefix fits in the
+// client's buffer.
+//
+// Model, in this simulator's fluid terms:
+//
+//   - any unfinished non-patch stream can serve as a primary; joining
+//     pins its rate to b_view (a multicast sender cannot run ahead of
+//     its slowest receiver's buffer), which minimum-flow provides;
+//   - the joiner is admitted on the primary's server as a unicast
+//     request of size primary.sent (the missed prefix), provided the
+//     prefix fits both the patch window and the client buffer;
+//   - the shared remainder costs no server bandwidth and is accounted
+//     in Metrics.SharedMb; the patch occupies a slot only until it
+//     completes (sent/b_view seconds), which is the whole benefit.
+//
+// Simplifications, documented: streams involved in patching do not
+// migrate (the multicast tree is pinned), and patching is mutually
+// exclusive with viewer interactivity and intermittent scheduling
+// (both can stall a primary mid-stream, which would starve its taps).
+
+// PatchingConfig controls multicast patching.
+type PatchingConfig struct {
+	// Enabled turns patching on.
+	Enabled bool
+
+	// Window bounds the prefix a joiner may catch up on, in seconds of
+	// playback (0 means 20 minutes). Joins are also bounded by the
+	// joining client's buffer capacity.
+	Window float64
+}
+
+// Validate reports configuration errors.
+func (p PatchingConfig) Validate() error {
+	if p.Window < 0 {
+		return fmt.Errorf("core: negative patch window %g", p.Window)
+	}
+	return nil
+}
+
+// patchWindow returns the configured window with its default.
+func (e *Engine) patchWindow() float64 {
+	if w := e.cfg.Patching.Window; w > 0 {
+		return w
+	}
+	return 1200
+}
+
+// tryPatchJoin attempts to admit the arrival for video v by tapping an
+// ongoing transmission. bufCap is the joining client's staging buffer.
+// On success it returns the created patch request's server.
+func (e *Engine) tryPatchJoin(v int, t float64, bufCap, recvCap float64) (*server, bool) {
+	if !e.cfg.Patching.Enabled {
+		return nil, false
+	}
+	maxPrefix := e.patchWindow() * e.cfg.ViewRate
+	if bufCap < maxPrefix {
+		maxPrefix = bufCap
+	}
+	if maxPrefix <= 0 {
+		return nil, false
+	}
+	// Find the cheapest tappable primary: smallest missed prefix wins.
+	var primary *request
+	for _, h := range e.holders(v) {
+		s := e.servers[h]
+		if s.failed {
+			continue
+		}
+		synced := false
+		for _, r := range s.active {
+			if int(r.video) != v || r.isPatch || r.suspended(t) {
+				continue
+			}
+			if !synced {
+				s.syncAll(t)
+				synced = true
+			}
+			if r.finished() || r.sent > maxPrefix+dataEps {
+				continue
+			}
+			// The primary's server must also have a slot for the patch.
+			if !e.canAccept(s, t) {
+				continue
+			}
+			if primary == nil || r.sent < primary.sent ||
+				(r.sent == primary.sent && r.id < primary.id) {
+				primary = r
+			}
+		}
+	}
+	if primary == nil {
+		return nil, false
+	}
+	s := e.servers[primary.server]
+	s.syncAll(t)
+
+	prefix := primary.sent
+	if prefix < dataEps {
+		prefix = dataEps // a pure join still needs a (vanishing) patch
+	}
+	joiner := e.newRequest(v, t)
+	joiner.size = prefix
+	joiner.isPatch = true
+	joiner.bufCap, joiner.recvCap = bufCap, recvCap
+	s.attach(joiner)
+	primary.taps++
+
+	full := e.cat.Video(v).Size
+	e.metrics.Accepted++
+	e.metrics.PatchedJoins++
+	e.metrics.AcceptedBytes += prefix
+	e.metrics.SharedMb += full - prefix
+	if e.obs != nil {
+		e.obs.OnAdmit(t, joiner.id, v, int(s.id), false)
+	}
+	e.reschedule(s, t)
+	return s, true
+}

@@ -1,0 +1,152 @@
+package core
+
+// Numerical tolerances for the fluid model. Data volumes are in Mb
+// (up to ~2×10^4 per object) and times in seconds (up to ~4×10^6 per
+// run); float64 leaves ample headroom at these scales.
+const (
+	dataEps = 1e-6 // Mb: volumes closer than this are equal
+	timeEps = 1e-9 // s: times closer than this are equal
+)
+
+// request is the engine's per-stream state. Between events a request
+// transmits at the piecewise-constant rate `rate`; `sent` is synced
+// lazily to the current time before any decision that reads it.
+//
+// Playback starts at admission and consumes data at the view rate
+// except while the viewer has paused (the interactivity extension), so
+//
+//	viewed(t) = viewOffset                       while paused
+//	          = viewOffset + (t − viewSyncT)·b_view  otherwise (≤ size)
+//	buffer(t) = sent(t) − viewed(t)   ∈ [0, bufCap]
+//
+// A request is "unfinished" while sent < size; the server releases its
+// bandwidth the moment transmission completes, even though the client
+// keeps playing from its buffer afterwards.
+type request struct {
+	id    int64
+	video int32
+	size  float64 // Mb
+	start float64 // admission == playback start time
+
+	server int32   // current data source
+	sent   float64 // Mb transmitted, valid as of `last`
+	rate   float64 // current allocation, Mb/s
+	last   float64 // time `sent` was last synced
+
+	// Viewer playback state. viewOffset is the data consumed as of
+	// viewSyncT; while pausedView is set the offset is frozen.
+	viewOffset float64
+	viewSyncT  float64
+	pausedView bool
+
+	// Per-client capabilities, set at admission from the engine config
+	// or the request's drawn client class.
+	bufCap  float64 // staging buffer, Mb (0 = no staging)
+	recvCap float64 // receive bandwidth cap, Mb/s (0 = unlimited)
+
+	hops int32 // lifetime migrations so far
+
+	// Patching state: isPatch marks a unicast prefix stream whose
+	// remainder arrives via a multicast tap; taps counts dependents
+	// fed from this stream's transmission. Either pins the stream to
+	// its server (the multicast tree must not move).
+	isPatch bool
+	taps    int32
+
+	// glitched marks a stream whose buffer ran dry while paused by the
+	// intermittent scheduler — a playback interruption the client saw.
+	glitched bool
+
+	// suspendedUntil > last marks a stream mid-switch: it holds a slot
+	// on the target server but receives no data until this time.
+	suspendedUntil float64
+
+	// slot is the request's index within its server's active slice,
+	// maintained for O(1) removal.
+	slot int32
+}
+
+// syncTo advances the fluid state to time t.
+func (r *request) syncTo(t float64) {
+	if t <= r.last {
+		return
+	}
+	if r.rate > 0 {
+		r.sent += r.rate * (t - r.last)
+		if r.sent > r.size {
+			r.sent = r.size // clamp float accumulation error
+		}
+	}
+	r.last = t
+}
+
+// viewedAt returns the data consumed by playback at time t.
+func (r *request) viewedAt(t float64, bview float64) float64 {
+	v := r.viewOffset
+	if !r.pausedView {
+		v += (t - r.viewSyncT) * bview
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > r.size {
+		return r.size
+	}
+	return v
+}
+
+// pauseViewing freezes playback at time t.
+func (r *request) pauseViewing(t float64, bview float64) {
+	r.viewOffset = r.viewedAt(t, bview)
+	r.viewSyncT = t
+	r.pausedView = true
+}
+
+// resumeViewing restarts playback at time t.
+func (r *request) resumeViewing(t float64) {
+	r.viewSyncT = t
+	r.pausedView = false
+}
+
+// drainRate returns the rate at which the client consumes buffered
+// data: b_view while playing, 0 while the viewer has paused.
+func (r *request) drainRate(bview float64) float64 {
+	if r.pausedView {
+		return 0
+	}
+	return bview
+}
+
+// bufferAt returns the client buffer occupancy at time t. The request
+// must already be synced to t.
+func (r *request) bufferAt(t float64, bview float64) float64 {
+	b := r.sent - r.viewedAt(t, bview)
+	if b < 0 {
+		return 0 // float noise only; the model guarantees buffer ≥ 0
+	}
+	return b
+}
+
+// remaining returns the untransmitted volume.
+func (r *request) remaining() float64 {
+	rem := r.size - r.sent
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// finished reports whether transmission is complete.
+func (r *request) finished() bool { return r.remaining() <= dataEps }
+
+// suspended reports whether the stream is mid-switch at time t.
+func (r *request) suspended(t float64) bool { return r.suspendedUntil > t+timeEps }
+
+// deadline returns the time by which transmission must complete for
+// uninterrupted playback, given the playback state as of now: when
+// viewing catches up with the object size. For a paused viewer the
+// true deadline depends on the unknown resume time; this reports the
+// lower bound obtained if playback resumed immediately.
+func (r *request) deadline(bview float64) float64 {
+	return r.viewSyncT + (r.size-r.viewOffset)/bview
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestSync(t *testing.T) {
+	r := &request{size: 3600, start: 0, last: 0, rate: 6}
+	r.syncTo(100)
+	if !approx(r.sent, 600, 1e-9) {
+		t.Errorf("sent = %v, want 600", r.sent)
+	}
+	// Sync is idempotent and never moves backwards.
+	r.syncTo(100)
+	r.syncTo(50)
+	if !approx(r.sent, 600, 1e-9) {
+		t.Errorf("sent after re-sync = %v, want 600", r.sent)
+	}
+	if r.last != 100 {
+		t.Errorf("last = %v, want 100", r.last)
+	}
+}
+
+func TestRequestSyncClampsAtSize(t *testing.T) {
+	r := &request{size: 100, rate: 10, last: 0}
+	r.syncTo(1000)
+	if r.sent != 100 {
+		t.Errorf("sent = %v, want clamp at size 100", r.sent)
+	}
+	if !r.finished() {
+		t.Error("request not finished after transmitting everything")
+	}
+}
+
+func TestViewedAt(t *testing.T) {
+	r := &request{size: 300, start: 10, viewSyncT: 10}
+	const bview = 3.0
+	cases := []struct{ t, want float64 }{
+		{5, 0},     // before start
+		{10, 0},    // at start
+		{20, 30},   // mid-play
+		{110, 300}, // exactly done
+		{500, 300}, // capped at size
+	}
+	for _, c := range cases {
+		if got := r.viewedAt(c.t, bview); !approx(got, c.want, 1e-9) {
+			t.Errorf("viewedAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBufferAt(t *testing.T) {
+	const bview = 3.0
+	r := &request{size: 3000, start: 0, last: 0, rate: 9}
+	r.syncTo(100) // sent 900, viewed 300
+	if got := r.bufferAt(100, bview); !approx(got, 600, 1e-9) {
+		t.Errorf("buffer = %v, want 600", got)
+	}
+}
+
+func TestBufferNeverNegative(t *testing.T) {
+	const bview = 3.0
+	r := &request{size: 3000, start: 0, last: 0, rate: 3}
+	r.syncTo(10)
+	// sent == viewed: float noise must not yield a negative buffer.
+	if got := r.bufferAt(10, bview); got < 0 {
+		t.Errorf("buffer = %v < 0", got)
+	}
+}
+
+func TestRemainingAndFinished(t *testing.T) {
+	r := &request{size: 100, sent: 40}
+	if got := r.remaining(); got != 60 {
+		t.Errorf("remaining() = %v, want 60", got)
+	}
+	if r.finished() {
+		t.Error("finished() with 60 Mb left")
+	}
+	r.sent = 100 - dataEps/2
+	if !r.finished() {
+		t.Error("finished() false within tolerance of completion")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	r := &request{size: 3600, start: 50, viewSyncT: 50}
+	if got := r.deadline(3); got != 1250 {
+		t.Errorf("deadline = %v, want 1250", got)
+	}
+}
+
+func TestSuspended(t *testing.T) {
+	r := &request{suspendedUntil: 100}
+	if !r.suspended(50) {
+		t.Error("suspended(50) = false with suspendedUntil=100")
+	}
+	if r.suspended(100) {
+		t.Error("suspended(100) = true at the resume instant")
+	}
+	if r.suspended(150) {
+		t.Error("suspended(150) = true after resume")
+	}
+}
+
+// Property: for any play history with rate ≥ b_view, the fluid
+// invariants hold: 0 ≤ viewed ≤ sent ≤ size.
+func TestFluidInvariantProperty(t *testing.T) {
+	const bview = 3.0
+	prop := func(rateRaw, sizeRaw uint16, steps []uint8) bool {
+		rate := bview + float64(rateRaw%100)
+		size := 300 + float64(sizeRaw%10000)
+		r := &request{size: size, start: 0, last: 0, rate: rate}
+		now := 0.0
+		for _, s := range steps {
+			now += float64(s) / 7
+			r.syncTo(now)
+			viewed := r.viewedAt(now, bview)
+			if viewed < 0 || viewed > r.sent+dataEps || r.sent > r.size+dataEps {
+				return false
+			}
+			if r.bufferAt(now, bview) < 0 {
+				return false
+			}
+			if r.finished() {
+				r.rate = 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

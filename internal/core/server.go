@@ -1,0 +1,61 @@
+package core
+
+// server is one data source in the cluster. Storage is decided by the
+// static placement (a server only ever transmits videos it holds); the
+// engine tracks only the transmission side.
+type server struct {
+	id        int32
+	bandwidth float64 // Mb/s
+	slots     int     // ⌊bandwidth / b_view⌋, the minimum-flow capacity
+
+	active []*request // unfinished requests currently assigned here
+	copies []*copyJob // replica transfers sourced from this server
+
+	// version lazily invalidates scheduled wake events: an event whose
+	// version no longer matches is stale and is dropped on pop.
+	version uint64
+
+	failed bool
+}
+
+// hasSlot reports whether the server can admit one more stream under
+// minimum-flow admission: the sum of view bandwidths of its unfinished
+// requests plus one more must not exceed its capacity.
+func (s *server) hasSlot() bool {
+	return !s.failed && len(s.active) < s.slots
+}
+
+// load returns the number of unfinished requests assigned to s. The
+// controller assigns new arrivals to the replica holder with the
+// smallest load (Section 3.2's request assignment rule).
+func (s *server) load() int { return len(s.active) }
+
+// attach adds r to the active set.
+func (s *server) attach(r *request) {
+	r.server = s.id
+	r.slot = int32(len(s.active))
+	s.active = append(s.active, r)
+}
+
+// detach removes r from the active set in O(1) by swapping the last
+// element into its slot.
+func (s *server) detach(r *request) {
+	i := int(r.slot)
+	last := len(s.active) - 1
+	s.active[i] = s.active[last]
+	s.active[i].slot = int32(i)
+	s.active[last] = nil
+	s.active = s.active[:last]
+	r.slot = -1
+}
+
+// syncAll advances every active request's and copy job's fluid state
+// to time t.
+func (s *server) syncAll(t float64) {
+	for _, r := range s.active {
+		r.syncTo(t)
+	}
+	for _, c := range s.copies {
+		c.syncTo(t)
+	}
+}

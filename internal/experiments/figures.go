@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semicont"
+	"semicont/internal/stats"
+)
+
+// Fig4 reproduces Figure 4, "the effect of dynamic video migration":
+// even placement, no workahead staging, θ swept; curves for no
+// migration, hops-per-request = 1, and unlimited hops (migration chain
+// length is one throughout, as in the paper).
+func Fig4(sys semicont.System, opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	variants := []struct {
+		name string
+		pol  semicont.Policy
+	}{
+		{"no-migration", semicont.Policy{Name: "no-migration", Placement: semicont.EvenPlacement}},
+		{"hops=1", semicont.Policy{Name: "hops=1", Placement: semicont.EvenPlacement, Migration: true, MaxHops: 1}},
+		{"hops=unlimited", semicont.Policy{Name: "hops=unlimited", Placement: semicont.EvenPlacement, Migration: true, MaxHops: semicont.UnlimitedHops}},
+	}
+	var series []stats.Series
+	for _, v := range variants {
+		pol := v.pol
+		s, err := curve(v.name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	id := "f4-" + sys.Name
+	return &Output{
+		ID:    id,
+		Title: fmt.Sprintf("Figure 4 (%s system): effect of dynamic request migration", sys.Name),
+		Figures: []Figure{{
+			ID:     id,
+			Title:  fmt.Sprintf("Effect of DRM, %s system (even placement, no staging)", sys.Name),
+			XLabel: "zipf-theta",
+			YLabel: "utilization",
+			Series: series,
+			Notes:  "Expected shape: migration curves above no-migration; hops=1 within a point or two of unlimited; all curves sag for theta < 0.",
+		}},
+	}, nil
+}
+
+// Fig5 reproduces Figure 5, "the effect of client staging": even
+// placement, no migration, client receive bandwidth capped at 30 Mb/s,
+// staging buffers of 0%, 2%, 20% and 100% of the average object size.
+func Fig5(sys semicont.System, opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	fracs := []float64{0, 0.02, 0.2, 1.0}
+	var series []stats.Series
+	for _, f := range fracs {
+		frac := f
+		name := fmt.Sprintf("%g%% buffer", frac*100)
+		s, err := curve(name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+			return semicont.Scenario{
+				System: sys,
+				Policy: semicont.Policy{
+					Name:        name,
+					Placement:   semicont.EvenPlacement,
+					StagingFrac: frac,
+					ReceiveCap:  semicont.DefaultReceiveCap,
+				},
+				Theta: theta,
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	id := "f5-" + sys.Name
+	return &Output{
+		ID:    id,
+		Title: fmt.Sprintf("Figure 5 (%s system): effect of client staging", sys.Name),
+		Figures: []Figure{{
+			ID:     id,
+			Title:  fmt.Sprintf("Effect of client staging, %s system (even placement, no migration, 30 Mb/s receive cap)", sys.Name),
+			XLabel: "zipf-theta",
+			YLabel: "utilization",
+			Series: series,
+			Notes:  "Expected shape: 20% buffer nearly matches 100%; both clearly above 0%; the gain is larger on the small system (smaller SVBR).",
+		}},
+	}, nil
+}
+
+// Fig7 reproduces Figure 7: the eight policies of Figure 6 compared
+// over the θ sweep, with 20% client buffers wherever staging is on.
+func Fig7(sys semicont.System, opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	var series []stats.Series
+	for _, p := range semicont.PaperPolicies() {
+		pol := p
+		s, err := curve(pol.Name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	id := "f7-" + sys.Name
+	return &Output{
+		ID:    id,
+		Title: fmt.Sprintf("Figure 7 (%s system): policies P1-P8", sys.Name),
+		Figures: []Figure{{
+			ID:     id,
+			Title:  fmt.Sprintf("Adaptive placement vs. migration vs. staging, %s system", sys.Name),
+			XLabel: "zipf-theta",
+			YLabel: "utilization",
+			Series: series,
+			Notes:  "Expected shape: P4 comparable to P8 and both on top for theta in [0,1]; for strongly negative theta the predictive policies (P5-P8) dominate - placement is then the binding factor.",
+		}},
+	}, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semicont"
+	"semicont/internal/report"
+	"semicont/internal/units"
+)
+
+// TableFig3 renders the paper's Figure 3, the parameters of the two
+// systems studied, as realized by this reproduction.
+func TableFig3() *Output {
+	small, large := semicont.SmallSystem(), semicont.LargeSystem()
+	t := &report.Table{
+		Title:   "Figure 3: parameters of the two video servers studied",
+		Headers: []string{"parameter", "small", "large"},
+	}
+	t.AddRow("Number of Servers",
+		fmt.Sprintf("%d", small.NumServers), fmt.Sprintf("%d", large.NumServers))
+	t.AddRow("Bandwidth",
+		fmt.Sprintf("%g Mb/s", small.ServerBandwidth), fmt.Sprintf("%g Mb/s", large.ServerBandwidth))
+	t.AddRow("Video Length",
+		lengthRange(small), lengthRange(large))
+	t.AddRow("Number of Videos",
+		fmt.Sprintf("%d", small.NumVideos), fmt.Sprintf("%d", large.NumVideos))
+	t.AddRow("Average Copies Per Video",
+		fmt.Sprintf("%g", small.AvgCopies), fmt.Sprintf("%g", large.AvgCopies))
+	t.AddRow("Disk Capacity",
+		gbString(small.DiskCapacity), gbString(large.DiskCapacity))
+	t.AddRow("View Bandwidth",
+		fmt.Sprintf("%g Mb/s", small.ViewRate), fmt.Sprintf("%g Mb/s", large.ViewRate))
+	t.AddRow("SVBR",
+		fmt.Sprintf("%.0f", small.SVBR()), fmt.Sprintf("%.0f", large.SVBR()))
+	return &Output{ID: "t3", Title: "Figure 3 (parameter table)", Tables: []*report.Table{t}}
+}
+
+func lengthRange(s semicont.System) string {
+	return fmt.Sprintf("%s - %s",
+		units.Seconds(s.MinVideoLength), units.Seconds(s.MaxVideoLength))
+}
+
+// TableFig6 renders the paper's Figure 6, the policy matrix P1–P8.
+func TableFig6() *Output {
+	t := &report.Table{
+		Title:   "Figure 6: policies evaluated",
+		Headers: []string{"policy", "allocation", "migration", "client staging"},
+	}
+	for _, p := range semicont.PaperPolicies() {
+		migr := "No Migr"
+		if p.Migration {
+			migr = "Migr"
+		}
+		t.AddRow(p.Name, p.Placement.String(), migr,
+			fmt.Sprintf("%g%% Buffer", p.StagingFrac*100))
+	}
+	return &Output{ID: "t6", Title: "Figure 6 (policy table)", Tables: []*report.Table{t}}
+}

@@ -1,0 +1,96 @@
+// Package hetero generates the heterogeneous cluster configurations of
+// the paper's Section 4.6: clusters whose servers differ in bandwidth
+// or storage while the cluster-wide totals stay fixed, so heterogeneous
+// and homogeneous systems are directly comparable.
+package hetero
+
+import "fmt"
+
+// Spread describes how much a resource varies across servers: server i
+// gets mean·(1 ± level), alternating high/low so the total is
+// preserved (odd clusters give the middle server the mean).
+type Spread struct {
+	// Level is the relative deviation in [0, 1): 0 is homogeneous,
+	// 0.5 alternates between 50% and 150% of the mean.
+	Level float64
+}
+
+// Apply returns n values with the given mean and the spread's
+// alternating deviation. The sum is n·mean exactly (up to float
+// rounding).
+func (s Spread) Apply(n int, mean float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hetero: need at least one server, got %d", n)
+	}
+	if s.Level < 0 || s.Level >= 1 {
+		return nil, fmt.Errorf("hetero: spread level %g outside [0, 1)", s.Level)
+	}
+	if mean <= 0 {
+		return nil, fmt.Errorf("hetero: mean must be positive, got %g", mean)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean
+	}
+	if s.Level == 0 {
+		return out, nil
+	}
+	// Pair servers (0,1), (2,3), …: one high, one low. A leftover
+	// middle server keeps the mean.
+	for i := 0; i+1 < n; i += 2 {
+		out[i] = mean * (1 + s.Level)
+		out[i+1] = mean * (1 - s.Level)
+	}
+	return out, nil
+}
+
+// Profile names one of the §4.6 cluster classes: which resource varies.
+type Profile int
+
+// The three profiles compared in the heterogeneity experiment.
+const (
+	Homogeneous Profile = iota
+	BandwidthHetero
+	StorageHetero
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case Homogeneous:
+		return "homogeneous"
+	case BandwidthHetero:
+		return "bandwidth-hetero"
+	case StorageHetero:
+		return "storage-hetero"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Cluster materializes per-server bandwidths and storage capacities for
+// a profile. meanBandwidth is in Mb/s, meanStorage in Mb.
+func Cluster(p Profile, n int, meanBandwidth, meanStorage, level float64) (bandwidth, storage []float64, err error) {
+	flat := Spread{Level: 0}
+	varied := Spread{Level: level}
+	switch p {
+	case Homogeneous:
+		bandwidth, err = flat.Apply(n, meanBandwidth)
+		if err == nil {
+			storage, err = flat.Apply(n, meanStorage)
+		}
+	case BandwidthHetero:
+		bandwidth, err = varied.Apply(n, meanBandwidth)
+		if err == nil {
+			storage, err = flat.Apply(n, meanStorage)
+		}
+	case StorageHetero:
+		bandwidth, err = flat.Apply(n, meanBandwidth)
+		if err == nil {
+			storage, err = varied.Apply(n, meanStorage)
+		}
+	default:
+		err = fmt.Errorf("hetero: unknown profile %d", int(p))
+	}
+	return bandwidth, storage, err
+}

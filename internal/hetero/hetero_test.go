@@ -1,0 +1,124 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpreadErrors(t *testing.T) {
+	if _, err := (Spread{Level: 0.5}).Apply(0, 100); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := (Spread{Level: -0.1}).Apply(4, 100); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := (Spread{Level: 1}).Apply(4, 100); err == nil {
+		t.Error("level 1 accepted (would zero a server)")
+	}
+	if _, err := (Spread{Level: 0.5}).Apply(4, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+}
+
+func TestHomogeneousSpread(t *testing.T) {
+	vals, err := Spread{}.Apply(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 100 {
+			t.Errorf("server %d = %v, want 100", i, v)
+		}
+	}
+}
+
+func TestSpreadAlternates(t *testing.T) {
+	vals, err := Spread{Level: 0.5}.Apply(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{150, 50, 150, 50}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-12 {
+			t.Errorf("server %d = %v, want %v", i, vals[i], w)
+		}
+	}
+}
+
+func TestSpreadOddMiddleKeepsMean(t *testing.T) {
+	vals, err := Spread{Level: 0.5}.Apply(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[4] != 100 {
+		t.Errorf("odd server = %v, want the mean", vals[4])
+	}
+}
+
+// Property: totals are preserved for any level and size.
+func TestSpreadPreservesTotal(t *testing.T) {
+	prop := func(nRaw, levelRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		level := float64(levelRaw%100) / 101
+		vals, err := Spread{Level: level}.Apply(n, 100)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, v := range vals {
+			if v <= 0 {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-float64(n)*100) < 1e-9*float64(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if Homogeneous.String() != "homogeneous" ||
+		BandwidthHetero.String() != "bandwidth-hetero" ||
+		StorageHetero.String() != "storage-hetero" {
+		t.Error("profile names wrong")
+	}
+	if Profile(99).String() == "" {
+		t.Error("unknown profile should still render")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	for _, p := range []Profile{Homogeneous, BandwidthHetero, StorageHetero} {
+		bw, st, err := Cluster(p, 6, 100, 800000, 0.5)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		sumBw, sumSt := 0.0, 0.0
+		varBw, varSt := false, false
+		for i := range bw {
+			sumBw += bw[i]
+			sumSt += st[i]
+			if bw[i] != 100 {
+				varBw = true
+			}
+			if st[i] != 800000 {
+				varSt = true
+			}
+		}
+		if math.Abs(sumBw-600) > 1e-9 || math.Abs(sumSt-4800000) > 1e-6 {
+			t.Errorf("%v: totals not preserved (%v, %v)", p, sumBw, sumSt)
+		}
+		if (p == BandwidthHetero) != varBw {
+			t.Errorf("%v: bandwidth variation = %v", p, varBw)
+		}
+		if (p == StorageHetero) != varSt {
+			t.Errorf("%v: storage variation = %v", p, varSt)
+		}
+	}
+	if _, _, err := Cluster(Profile(42), 4, 100, 1000, 0.5); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Package report renders experiment results as aligned ASCII tables
+// (the rows/series the paper's figures plot) and as CSV for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"semicont/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SeriesTable renders a set of curves sharing x values as one table:
+// first column x, one column per series (mean ± CI half-width).
+func SeriesTable(title, xLabel string, series []stats.Series) (*Table, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("report: no series")
+	}
+	n := len(series[0].Points)
+	for _, s := range series {
+		if len(s.Points) != n {
+			return nil, fmt.Errorf("report: series %q has %d points, want %d", s.Name, len(s.Points), n)
+		}
+	}
+	t := &Table{Title: title, Headers: append([]string{xLabel}, names(series)...)}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
+		for _, s := range series {
+			p := s.Points[i]
+			if p.X != series[0].Points[i].X {
+				return nil, fmt.Errorf("report: series %q x mismatch at %d: %g vs %g", s.Name, i, p.X, series[0].Points[i].X)
+			}
+			row = append(row, fmt.Sprintf("%.4f ±%.4f", p.Mean, p.CI95))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func names(series []stats.Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// WriteSeriesCSV emits curves sharing x values as CSV: an x column, then
+// mean and ci95 columns per series.
+func WriteSeriesCSV(w io.Writer, xLabel string, series []stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Name+"_mean", s.Name+"_ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	n := len(series[0].Points)
+	for i := 0; i < n; i++ {
+		cells := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
+		for _, s := range series {
+			if len(s.Points) != n {
+				return fmt.Errorf("report: series %q has %d points, want %d", s.Name, len(s.Points), n)
+			}
+			p := s.Points[i]
+			cells = append(cells, fmt.Sprintf("%.6f", p.Mean), fmt.Sprintf("%.6f", p.CI95))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

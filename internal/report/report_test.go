@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"semicont/internal/stats"
+)
+
+func sampleSeries() []stats.Series {
+	return []stats.Series{
+		{Name: "a", Points: []stats.Point{{X: 0, Mean: 0.5, CI95: 0.01}, {X: 1, Mean: 0.9, CI95: 0.02}}},
+		{Name: "b", Points: []stats.Point{{X: 0, Mean: 0.6, CI95: 0.01}, {X: 1, Mean: 0.95, CI95: 0.005}}},
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"col", "value"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-cell", "2")
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5 (title, header, rule, 2 rows):\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	off := strings.Index(lines[1], "value")
+	if off < 0 {
+		t.Fatalf("no value column")
+	}
+	if lines[3][off:off+1] != "1" || lines[4][off:off+1] != "2" {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}}
+	tbl.AddRow("v")
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Error("leading blank line without title")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tbl, err := SeriesTable("fig", "x", sampleSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Headers) != 3 || tbl.Headers[0] != "x" || tbl.Headers[1] != "a" {
+		t.Errorf("headers = %v", tbl.Headers)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "0.5000 ±0.0100" {
+		t.Errorf("cell = %q", tbl.Rows[0][1])
+	}
+}
+
+func TestSeriesTableErrors(t *testing.T) {
+	if _, err := SeriesTable("t", "x", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	uneven := sampleSeries()
+	uneven[1].Points = uneven[1].Points[:1]
+	if _, err := SeriesTable("t", "x", uneven); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	shifted := sampleSeries()
+	shifted[1].Points[1].X = 99
+	if _, err := SeriesTable("t", "x", shifted); err == nil {
+		t.Error("x mismatch accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, "theta", sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "theta,a_mean,a_ci95,b_mean,b_ci95" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0.500000,0.010000,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, "x", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	uneven := sampleSeries()
+	uneven[1].Points = uneven[1].Points[:1]
+	if err := WriteSeriesCSV(&b, "x", uneven); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " {
+		t.Errorf("pad = %q", pad("ab", 4))
+	}
+	if pad("abcd", 2) != "abcd" {
+		t.Errorf("overlong pad = %q", pad("abcd", 2))
+	}
+}

@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range cases {
+		if _, err := NewAlias(w); err == nil {
+			t.Errorf("NewAlias(%v) succeeded, want error", w)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(1)
+	for i := 0; i < 100; i++ {
+		if v := a.Sample(p); v != 0 {
+			t.Fatalf("Sample() = %d, want 0", v)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(2)
+	for i := 0; i < 50000; i++ {
+		if a.Sample(p) == 1 {
+			t.Fatal("drew an outcome with zero weight")
+		}
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{10, 1, 5, 0.5, 3.5}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	p := New(3)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(p)]++
+	}
+	for i, w := range weights {
+		want := draws * w / total
+		sd := math.Sqrt(want * (1 - w/total))
+		if math.Abs(float64(counts[i])-want) > 5*sd {
+			t.Errorf("outcome %d drawn %d times, want %.0f ± %.0f", i, counts[i], want, 5*sd)
+		}
+	}
+}
+
+// Property: any valid weight vector builds a table whose samples stay in
+// range and hit every positively weighted outcome eventually.
+func TestAliasProperty(t *testing.T) {
+	prop := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true // invalid input; covered by error tests
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		p := New(seed)
+		hit := make([]bool, len(weights))
+		for i := 0; i < 5000; i++ {
+			v := a.Sample(p)
+			if v < 0 || v >= len(weights) || weights[v] == 0 {
+				return false
+			}
+			hit[v] = true
+		}
+		// Every outcome with substantial weight should appear.
+		for i, w := range weights {
+			if w/total > 0.05 && !hit[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasN(t *testing.T) {
+	a, err := NewAlias([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 3 {
+		t.Errorf("N() = %d, want 3", a.N())
+	}
+}

@@ -1,0 +1,146 @@
+// Package rng provides the deterministic random-number substrate for the
+// simulator.
+//
+// Reproducibility is a hard requirement: every experiment in the paper
+// reproduction must yield bit-identical results for a given seed,
+// independent of the Go release or of how many streams run concurrently.
+// We therefore implement the generators ourselves rather than depending
+// on math/rand internals:
+//
+//   - SplitMix64 is used to expand a single user seed into independent
+//     stream seeds (one per trial, per server, per purpose), so that
+//     adding a consumer of randomness never perturbs the draws seen by
+//     existing consumers.
+//   - PCG-XSH-RR 64/32 (O'Neill 2014) is the workhorse generator. Two
+//     PCG32 halves form a 64-bit output with excellent statistical
+//     quality and a tiny state.
+//
+// The package also provides the standard transformations the simulator
+// needs: uniform floats, exponential variates (Poisson inter-arrival
+// times), bounded integers without modulo bias, and Fisher–Yates
+// shuffles.
+package rng
+
+import "math"
+
+// SplitMix64 advances a 64-bit state and returns the next value of the
+// SplitMix64 sequence. It is used for seeding only.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives an independent sub-seed from a
+// base seed and a sequence of labels. Labels distinguish the purpose of
+// each stream ("arrivals", "placement", trial index, …) so streams stay
+// decoupled when new ones are introduced.
+func DeriveSeed(base uint64, labels ...uint64) uint64 {
+	s := base ^ 0x6a09e667f3bcc908 // golden-ratio-ish domain separator
+	out := SplitMix64(&s)
+	for _, l := range labels {
+		s ^= l * 0xff51afd7ed558ccd
+		out ^= SplitMix64(&s)
+	}
+	if out == 0 {
+		out = 0x9e3779b97f4a7c15
+	}
+	return out
+}
+
+// PCG is a PCG-XSH-RR 64/32 generator with a fixed odd increment.
+// The zero value is not useful; construct with New.
+type PCG struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a PCG stream seeded from seed. Distinct seeds produce
+// decorrelated streams (the seed selects both state and increment).
+func New(seed uint64) *PCG {
+	s := seed
+	inc := SplitMix64(&s)<<1 | 1 // increment must be odd
+	p := &PCG{state: 0, inc: inc}
+	p.next32()
+	p.state += SplitMix64(&s)
+	p.next32()
+	return p
+}
+
+func (p *PCG) next32() uint32 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (p *PCG) Uint64() uint64 {
+	return uint64(p.next32())<<32 | uint64(p.next32())
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (p *PCG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return p.Uint64() & (n - 1)
+	}
+	thresh := -n % n
+	for {
+		v := p.Uint64()
+		if v >= thresh {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(p.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1, via inverse
+// transform sampling. Scale by the desired mean.
+func (p *PCG) ExpFloat64() float64 {
+	// 1-Float64() is in (0,1], so the log is finite.
+	return -math.Log(1 - p.Float64())
+}
+
+// UniformRange returns a uniform float64 in [lo, hi).
+func (p *PCG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*p.Float64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher–Yates).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := p.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+	return out
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (p *PCG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		swap(i, j)
+	}
+}

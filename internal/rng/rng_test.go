@@ -1,0 +1,201 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds produced %d equal 64-bit draws out of 100", same)
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	// Different label paths must give different seeds.
+	seen := map[uint64][]uint64{}
+	paths := [][]uint64{{}, {1}, {2}, {1, 1}, {1, 2}, {2, 1}, {1, 1, 1}}
+	for _, p := range paths {
+		s := DeriveSeed(99, p...)
+		if prev, ok := seen[s]; ok {
+			t.Errorf("paths %v and %v collide on seed %d", prev, p, s)
+		}
+		seen[s] = p
+	}
+	// Deterministic.
+	if DeriveSeed(7, 1, 2) != DeriveSeed(7, 1, 2) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	// Never zero.
+	if DeriveSeed(0) == 0 {
+		t.Error("DeriveSeed returned 0")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(3)
+	for i := 0; i < 100000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	p := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += p.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	p := New(5)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 1000, 1 << 33} {
+		for i := 0; i < 1000; i++ {
+			if v := p.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	p := New(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[p.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ≈%.0f", i, c, want)
+		}
+	}
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanics(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	p := New(7)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := p.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("ExpFloat64() = %v < 0", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean = %v, want ≈1", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("exponential variance = %v, want ≈1", variance)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 10000; i++ {
+		v := p.UniformRange(600, 1800)
+		if v < 600 || v >= 1800 {
+			t.Fatalf("UniformRange(600, 1800) = %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		perm := New(seed).Perm(n)
+		if len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	p := New(9)
+	s := []int{1, 2, 2, 3, 3, 3, 4}
+	counts := map[int]int{}
+	for _, v := range s {
+		counts[v]++
+	}
+	p.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		counts[v]--
+	}
+	for v, c := range counts {
+		if c != 0 {
+			t.Errorf("value %d count off by %d after shuffle", v, c)
+		}
+	}
+}
+
+func TestPermZeroAndOne(t *testing.T) {
+	if got := New(1).Perm(0); len(got) != 0 {
+		t.Errorf("Perm(0) = %v", got)
+	}
+	if got := New(1).Perm(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Perm(1) = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package simtime provides the discrete-event substrate: a future event
+// list ordered by simulated time with deterministic FIFO tie-breaking.
+//
+// The simulator is a fluid-flow discrete-event simulation: between
+// events every transmission proceeds at a constant rate, and the engine
+// schedules the next instant at which any rate must change (an arrival,
+// a transmission finishing, a client buffer filling, a failure). The
+// event list is the only data structure whose ordering affects results,
+// so it breaks time ties by insertion order to keep runs reproducible.
+package simtime
+
+// Queue is a min-heap of events carrying payloads of type T.
+// The zero value is an empty queue ready for use.
+type Queue[T any] struct {
+	items []item[T]
+	seq   uint64
+}
+
+type item[T any] struct {
+	time    float64
+	seq     uint64
+	payload T
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push schedules payload v at time t. Events at equal times are
+// delivered in the order they were pushed.
+func (q *Queue[T]) Push(t float64, v T) {
+	q.seq++
+	q.items = append(q.items, item[T]{time: t, seq: q.seq, payload: v})
+	q.up(len(q.items) - 1)
+}
+
+// Peek reports the time of the earliest event without removing it.
+// ok is false when the queue is empty.
+func (q *Queue[T]) Peek() (t float64, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].time, true
+}
+
+// Pop removes and returns the earliest event.
+// ok is false when the queue is empty.
+func (q *Queue[T]) Pop() (t float64, v T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	// Clear the vacated slot so payloads don't pin garbage.
+	var zero item[T]
+	q.items[last] = zero
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top.time, top.payload, true
+}
+
+// Reset empties the queue, retaining its backing storage for reuse.
+func (q *Queue[T]) Reset() {
+	var zero item[T]
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

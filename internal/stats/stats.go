@@ -1,0 +1,126 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: streaming mean/variance accumulation (Welford), 95%
+// confidence intervals across independent trials, and simple series
+// containers for figure data.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations with Welford's online algorithm,
+// which is numerically stable for long runs.
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean, using Student's t critical values for the small trial counts
+// the experiments use (5 trials as in the paper) and the normal
+// approximation beyond the table.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tCritical95(int(s.n-1)) * s.StdErr()
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom.
+func tCritical95(df int) float64 {
+	// Standard table values; df ≥ 30 uses the normal approximation.
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+		2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+		2.052, 2.048, 2.045,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Point is one aggregated datum of a figure: an x value with the mean
+// and spread of the metric across trials.
+type Point struct {
+	X    float64
+	Mean float64
+	CI95 float64
+	Min  float64
+	Max  float64
+	N    int64
+}
+
+// FromSample builds a Point at x from an accumulated sample.
+func FromSample(x float64, s *Sample) Point {
+	return Point{X: x, Mean: s.Mean(), CI95: s.CI95(), Min: s.Min(), Max: s.Max(), N: s.N()}
+}
+
+// Series is a named sequence of points — one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// String renders a compact single-line summary, handy in logs.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f ±%.4f [%.4f, %.4f]", s.n, s.Mean(), s.CI95(), s.min, s.max)
+}

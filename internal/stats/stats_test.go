@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Errorf("zero-value sample not inert: %+v", s)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.N() != 1 || s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Errorf("single observation: %+v", s)
+	}
+	if s.Variance() != 0 || s.CI95() != 0 {
+		t.Errorf("variance/CI of one observation must be 0")
+	}
+}
+
+func TestKnownSample(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if want := 32.0 / 7; math.Abs(s.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+// Welford must agree with the two-pass textbook formulas.
+func TestWelfordMatchesNaive(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 16
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95FiveTrials(t *testing.T) {
+	// Five trials (the paper's design): t critical value for df=4 is
+	// 2.776.
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	want := 2.776 * s.StdErr()
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestTCriticalTable(t *testing.T) {
+	if got := tCritical95(1); got != 12.706 {
+		t.Errorf("t(1) = %v", got)
+	}
+	if got := tCritical95(29); got != 2.045 {
+		t.Errorf("t(29) = %v", got)
+	}
+	if got := tCritical95(500); got != 1.96 {
+		t.Errorf("t(500) = %v, want normal approximation", got)
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("t(0) should be NaN")
+	}
+}
+
+func TestFromSample(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	p := FromSample(0.5, &s)
+	if p.X != 0.5 || p.Mean != 2 || p.Min != 1 || p.Max != 3 || p.N != 2 {
+		t.Errorf("FromSample = %+v", p)
+	}
+}
+
+func TestStdErrShrinks(t *testing.T) {
+	var small, large Sample
+	for i := 0; i < 4; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 400; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.StdErr() >= small.StdErr() {
+		t.Errorf("StdErr did not shrink with n: %v vs %v", large.StdErr(), small.StdErr())
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if got := s.String(); got == "" {
+		t.Error("String() empty")
+	}
+}

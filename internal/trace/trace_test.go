@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func fill(r *Recorder) {
+	r.OnAdmit(1, 10, 3, 0, false)
+	r.OnAdmit(2, 11, 4, 1, true)
+	r.OnReject(3, 5)
+	r.OnMigrate(4, 10, 3, 0, 1, false)
+	r.OnFinish(5, 10, 3, 1)
+	r.OnFailure(6, 0, 2, 1)
+}
+
+func TestRecorderCounts(t *testing.T) {
+	var r Recorder
+	fill(&r)
+	if r.Admits != 2 || r.Rejects != 1 || r.Migrations != 1 || r.Finishes != 1 || r.Failures != 1 {
+		t.Errorf("counts = %+v", r)
+	}
+	if len(r.Events) != 6 {
+		t.Errorf("recorded %d events, want 6", len(r.Events))
+	}
+}
+
+func TestRecorderCountsOnly(t *testing.T) {
+	r := Recorder{CountsOnly: true}
+	fill(&r)
+	if len(r.Events) != 0 {
+		t.Errorf("CountsOnly recorded %d events", len(r.Events))
+	}
+	if r.Admits != 2 {
+		t.Errorf("Admits = %d", r.Admits)
+	}
+}
+
+func TestEventFields(t *testing.T) {
+	var r Recorder
+	fill(&r)
+	ev := r.Events[1] // the DRM admission
+	if ev.Kind != Admit || ev.Time != 2 || ev.Request != 11 || ev.Video != 4 || ev.From != 1 || !ev.ViaDRM {
+		t.Errorf("admit event = %+v", ev)
+	}
+	mig := r.Events[3]
+	if mig.Kind != Migrate || mig.From != 0 || mig.To != 1 || mig.Rescue {
+		t.Errorf("migrate event = %+v", mig)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Admit: "admit", Reject: "reject", Migrate: "migrate",
+		Finish: "finish", Failure: "failure",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	fill(&r)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want header + 6", len(lines))
+	}
+	if lines[0] != "time,kind,request,video,from,to,via_drm,rescue" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "admit") || !strings.Contains(lines[2], "true") {
+		t.Errorf("DRM admit row = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "reject") {
+		t.Errorf("reject row = %q", lines[3])
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.after--
+	if w.after < 0 {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	var r Recorder
+	fill(&r)
+	if err := r.WriteCSV(&failWriter{after: 0}); err == nil {
+		t.Error("header write error swallowed")
+	}
+	if err := r.WriteCSV(&failWriter{after: 2}); err == nil {
+		t.Error("row write error swallowed")
+	}
+}
+
+func TestRecorderReplicate(t *testing.T) {
+	var r Recorder
+	r.OnReplicate(7, 3, 0, 2)
+	if r.Replications != 1 || len(r.Events) != 1 {
+		t.Fatalf("recorder = %+v", r)
+	}
+	ev := r.Events[0]
+	if ev.Kind != Replicate || ev.Video != 3 || ev.From != 0 || ev.To != 2 {
+		t.Errorf("event = %+v", ev)
+	}
+	if Replicate.String() != "replicate" {
+		t.Error("kind name")
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replicate") {
+		t.Errorf("CSV missing replicate row: %s", b.String())
+	}
+}

@@ -1,0 +1,87 @@
+// Package units defines the unit conventions used throughout the
+// simulator and helpers for converting between them.
+//
+// Conventions (matching the paper):
+//
+//   - data volumes are measured in megabits (Mb),
+//   - bandwidth in megabits per second (Mb/s),
+//   - simulated time in seconds.
+//
+// All quantities are float64 because the simulator uses a fluid-flow
+// model: data is a continuous quantity transmitted at piecewise-constant
+// rates. The named types below are used at API boundaries for
+// documentation value; hot simulation paths operate on plain float64
+// with the same conventions.
+package units
+
+import "fmt"
+
+// Megabits is a volume of data in megabits (decimal, 10^6 bits).
+type Megabits float64
+
+// Mbps is a bandwidth in megabits per second.
+type Mbps float64
+
+// Seconds is a span of simulated time in seconds.
+type Seconds float64
+
+// Common time spans, in seconds.
+const (
+	Second Seconds = 1
+	Minute Seconds = 60
+	Hour   Seconds = 3600
+)
+
+// MbPerGB converts between storage sizes quoted in gigabytes (as the
+// paper's Figure 3 does) and megabits. Decimal units: 1 GB = 8000 Mb.
+const MbPerGB = 8000.0
+
+// GB returns a data volume of g gigabytes expressed in megabits.
+func GB(g float64) Megabits { return Megabits(g * MbPerGB) }
+
+// Minutes returns a time span of m minutes.
+func Minutes(m float64) Seconds { return Seconds(m) * Minute }
+
+// Hours returns a time span of h hours.
+func Hours(h float64) Seconds { return Seconds(h) * Hour }
+
+// Over returns the time needed to move v megabits at rate r.
+// It panics if r is not positive: transferring data at a non-positive
+// rate never completes, and callers are expected to guard against it.
+func Over(v Megabits, r Mbps) Seconds {
+	if r <= 0 {
+		panic(fmt.Sprintf("units: non-positive rate %v Mb/s", float64(r)))
+	}
+	return Seconds(float64(v) / float64(r))
+}
+
+// Transferred returns the volume moved at rate r for duration d.
+func Transferred(r Mbps, d Seconds) Megabits {
+	return Megabits(float64(r) * float64(d))
+}
+
+// String implementations make configuration dumps and traces readable.
+
+func (v Megabits) String() string {
+	switch {
+	case v >= MbPerGB:
+		return fmt.Sprintf("%.2f GB", float64(v)/MbPerGB)
+	case v >= 1:
+		return fmt.Sprintf("%.1f Mb", float64(v))
+	default:
+		return fmt.Sprintf("%.3f Mb", float64(v))
+	}
+}
+
+func (r Mbps) String() string { return fmt.Sprintf("%.1f Mb/s", float64(r)) }
+
+func (s Seconds) String() string {
+	switch {
+	case s >= Hour:
+		return fmt.Sprintf("%.2f h", float64(s)/float64(Hour))
+	case s >= Minute:
+		return fmt.Sprintf("%.1f min", float64(s)/float64(Minute))
+	default:
+		return fmt.Sprintf("%.1f s", float64(s))
+	}
+}

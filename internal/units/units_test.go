@@ -1,0 +1,94 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if Minute != 60 {
+		t.Errorf("Minute = %v, want 60", Minute)
+	}
+	if Hour != 3600 {
+		t.Errorf("Hour = %v, want 3600", Hour)
+	}
+	if MbPerGB != 8000 {
+		t.Errorf("MbPerGB = %v, want 8000", MbPerGB)
+	}
+}
+
+func TestGB(t *testing.T) {
+	if got := GB(100); got != 800000 {
+		t.Errorf("GB(100) = %v, want 800000 Mb", got)
+	}
+	if got := GB(0.5); got != 4000 {
+		t.Errorf("GB(0.5) = %v, want 4000 Mb", got)
+	}
+}
+
+func TestMinutesHours(t *testing.T) {
+	if got := Minutes(30); got != 1800 {
+		t.Errorf("Minutes(30) = %v, want 1800", got)
+	}
+	if got := Hours(2); got != 7200 {
+		t.Errorf("Hours(2) = %v, want 7200", got)
+	}
+}
+
+func TestOver(t *testing.T) {
+	if got := Over(300, 3); got != 100 {
+		t.Errorf("Over(300, 3) = %v, want 100 s", got)
+	}
+}
+
+func TestOverPanicsOnNonPositiveRate(t *testing.T) {
+	for _, r := range []Mbps{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Over(1, %v) did not panic", r)
+				}
+			}()
+			Over(1, r)
+		}()
+	}
+}
+
+func TestTransferred(t *testing.T) {
+	if got := Transferred(3, 60); got != 180 {
+		t.Errorf("Transferred(3, 60) = %v, want 180 Mb", got)
+	}
+}
+
+// Transferred and Over are inverses for positive rates and volumes.
+func TestTransferredOverRoundTrip(t *testing.T) {
+	prop := func(v, r float64) bool {
+		vol := Megabits(math.Abs(v) + 0.001)
+		rate := Mbps(math.Abs(r) + 0.001)
+		back := Transferred(rate, Over(vol, rate))
+		return math.Abs(float64(back-vol)) < 1e-9*math.Max(1, float64(vol))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Megabits(16000).String(), "2.00 GB"},
+		{Megabits(12).String(), "12.0 Mb"},
+		{Megabits(0.5).String(), "0.500 Mb"},
+		{Mbps(3).String(), "3.0 Mb/s"},
+		{Seconds(7200).String(), "2.00 h"},
+		{Seconds(90).String(), "1.5 min"},
+		{Seconds(12).String(), "12.0 s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"semicont/internal/catalog"
+	"semicont/internal/rng"
+)
+
+func testCatalog(t *testing.T, theta float64) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: 50, MinLength: 600, MaxLength: 1800, ViewRate: 3, Theta: theta,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestCalibratedRate(t *testing.T) {
+	cat := testCatalog(t, 1)
+	rate, err := CalibratedRate(cat, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ · E[S] must equal the total bandwidth exactly.
+	if got := rate * cat.ExpectedSize(); math.Abs(got-500) > 1e-9 {
+		t.Errorf("offered load = %v Mb/s, want 500", got)
+	}
+	// Load factor scales linearly.
+	half, err := CalibratedRate(cat, 500, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half*2-rate) > 1e-12 {
+		t.Errorf("load factor not linear: %v vs %v", half, rate)
+	}
+}
+
+func TestCalibratedRateErrors(t *testing.T) {
+	cat := testCatalog(t, 1)
+	if _, err := CalibratedRate(cat, 0, 1); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := CalibratedRate(cat, 500, 0); err == nil {
+		t.Error("zero load factor accepted")
+	}
+	if _, err := CalibratedRate(cat, -5, 1); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cat := testCatalog(t, 1)
+	if _, err := New(cat, 0, rng.New(1)); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := New(cat, -1, rng.New(1)); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	cat := testCatalog(t, 0.271)
+	g, err := New(cat, 0.2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 10000; i++ {
+		r := g.Next()
+		if r.Arrival < prev {
+			t.Fatalf("arrival %d at %v before previous %v", i, r.Arrival, prev)
+		}
+		if r.Video < 0 || r.Video >= cat.Len() {
+			t.Fatalf("video id %d out of range", r.Video)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	cat := testCatalog(t, 1)
+	const rate = 0.5
+	g, err := New(cat, rate, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = g.Next().Arrival
+	}
+	// n arrivals should span ≈ n/rate seconds.
+	want := n / rate
+	if math.Abs(last-want)/want > 0.02 {
+		t.Errorf("%d arrivals span %v s, want ≈%v", n, last, want)
+	}
+}
+
+func TestPeekMatchesNext(t *testing.T) {
+	cat := testCatalog(t, 1)
+	g, err := New(cat, 1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		peeked := g.Peek()
+		if got := g.Next().Arrival; got != peeked {
+			t.Fatalf("Peek() = %v but Next().Arrival = %v", peeked, got)
+		}
+	}
+}
+
+func TestVideosFollowPopularity(t *testing.T) {
+	cat := testCatalog(t, -1) // heavily skewed
+	g, err := New(cat, 1, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cat.Len())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Video]++
+	}
+	want := cat.Video(0).Prob
+	got := float64(counts[0]) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("video 0 frequency %v, want ≈%v", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cat := testCatalog(t, 0.5)
+	a, _ := New(cat, 1, rng.New(6))
+	b, _ := New(cat, 1, rng.New(6))
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("generators with equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	cat := testCatalog(t, 1)
+	g, err := New(cat, 0.25, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rate() != 0.25 {
+		t.Errorf("Rate() = %v", g.Rate())
+	}
+}

@@ -1,0 +1,84 @@
+// Package zipf implements the Zipf-like popularity distribution exactly
+// as parameterized in the paper (Section 4.1):
+//
+//	p_i = c / i^(1-θ),  i = 1..N,  c = 1 / Σ_{i=1..N} 1/i^(1-θ)
+//
+// θ (theta) controls demand skew:
+//
+//   - θ = 1: every video equally popular (uniform),
+//   - θ = 0: classic Zipf (p_i ∝ 1/i),
+//   - θ < 0: increasingly skewed; the paper sweeps θ down to −1.5,
+//     i.e. p_i ∝ 1/i^2.5.
+//
+// Note this convention differs from the common "Zipf exponent s"
+// (p_i ∝ 1/i^s): here s = 1−θ, so smaller θ means more skew. Figures in
+// the paper label the x-axis "Zipf theta (Demand Uniformity)".
+package zipf
+
+import (
+	"fmt"
+	"math"
+
+	"semicont/internal/rng"
+)
+
+// Distribution is a Zipf-like popularity distribution over N items with
+// an O(1) sampler. Item 0 is the most popular video (paper index i=1).
+type Distribution struct {
+	theta float64
+	probs []float64
+	alias *rng.Alias
+}
+
+// New builds the distribution for n items with the paper's θ parameter.
+func New(n int, theta float64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: need at least one item, got %d", n)
+	}
+	s := 1 - theta // conventional Zipf exponent
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		w := math.Pow(float64(i+1), -s)
+		weights[i] = w
+		total += w
+	}
+	probs := make([]float64, n)
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	alias, err := rng.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("zipf: %w", err)
+	}
+	return &Distribution{theta: theta, probs: probs, alias: alias}, nil
+}
+
+// Theta returns the θ the distribution was built with.
+func (d *Distribution) Theta() float64 { return d.theta }
+
+// N returns the number of items.
+func (d *Distribution) N() int { return len(d.probs) }
+
+// Prob returns p_i for item i (0-based; item 0 is the most popular).
+func (d *Distribution) Prob(i int) float64 { return d.probs[i] }
+
+// Probs returns the full probability vector. The caller must not modify
+// the returned slice.
+func (d *Distribution) Probs() []float64 { return d.probs }
+
+// Sample draws an item index in O(1).
+func (d *Distribution) Sample(p *rng.PCG) int { return d.alias.Sample(p) }
+
+// ExpectedValue returns Σ p_i · v[i]; it is used to calibrate the
+// arrival rate from per-video sizes. len(v) must equal N().
+func (d *Distribution) ExpectedValue(v []float64) float64 {
+	if len(v) != len(d.probs) {
+		panic(fmt.Sprintf("zipf: value vector length %d != N %d", len(v), len(d.probs)))
+	}
+	e := 0.0
+	for i, p := range d.probs {
+		e += p * v[i]
+	}
+	return e
+}

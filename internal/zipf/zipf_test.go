@@ -1,0 +1,163 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"semicont/internal/rng"
+)
+
+func TestErrors(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := New(n, 0); err == nil {
+			t.Errorf("New(%d, 0) succeeded, want error", n)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	prop := func(nRaw uint8, thetaRaw int8) bool {
+		n := int(nRaw%200) + 1
+		theta := float64(thetaRaw) / 50 // roughly [-2.5, 2.5]
+		d, err := New(n, theta)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d.Prob(i)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformAtThetaOne(t *testing.T) {
+	d, err := New(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if math.Abs(d.Prob(i)-0.02) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.02 at theta=1", i, d.Prob(i))
+		}
+	}
+}
+
+func TestMonotoneForSkewedTheta(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.271, 0, -0.5, -1.5} {
+		d, err := New(100, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < 100; i++ {
+			if d.Prob(i) > d.Prob(i-1)+1e-15 {
+				t.Fatalf("theta=%g: Prob(%d)=%v > Prob(%d)=%v", theta, i, d.Prob(i), i-1, d.Prob(i-1))
+			}
+		}
+	}
+}
+
+func TestSmallerThetaMeansMoreSkew(t *testing.T) {
+	// The probability of the most popular item must grow as theta falls.
+	prev := -1.0
+	for _, theta := range []float64{1, 0.5, 0, -0.5, -1, -1.5} {
+		d, err := New(100, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Prob(0) < prev {
+			t.Fatalf("p_1 at theta=%g is %v, below previous %v", theta, d.Prob(0), prev)
+		}
+		prev = d.Prob(0)
+	}
+}
+
+func TestClassicZipfRatios(t *testing.T) {
+	// theta = 0 is classic Zipf: p_i ∝ 1/i, so p_1/p_2 = 2.
+	d, err := New(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Prob(0) / d.Prob(1); math.Abs(r-2) > 1e-9 {
+		t.Errorf("p_1/p_2 = %v, want 2", r)
+	}
+	if r := d.Prob(0) / d.Prob(3); math.Abs(r-4) > 1e-9 {
+		t.Errorf("p_1/p_4 = %v, want 4", r)
+	}
+}
+
+func TestNegativeThetaExponent(t *testing.T) {
+	// theta = -1.5 gives p_i ∝ 1/i^2.5.
+	d, err := New(10, -1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(2, 2.5)
+	if r := d.Prob(0) / d.Prob(1); math.Abs(r-want) > 1e-9 {
+		t.Errorf("p_1/p_2 = %v, want %v", r, want)
+	}
+}
+
+func TestSamplerMatchesProbs(t *testing.T) {
+	d, err := New(20, 0.271)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rng.New(11)
+	const draws = 300000
+	counts := make([]int, 20)
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(p)]++
+	}
+	for i := 0; i < 20; i++ {
+		want := draws * d.Prob(i)
+		sd := math.Sqrt(want * (1 - d.Prob(i)))
+		if math.Abs(float64(counts[i])-want) > 5*sd+1 {
+			t.Errorf("item %d drawn %d times, want %.0f ± %.0f", i, counts[i], want, 5*sd)
+		}
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	d, err := New(3, 1) // uniform
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.ExpectedValue([]float64{3, 6, 9})
+	if math.Abs(got-6) > 1e-12 {
+		t.Errorf("ExpectedValue = %v, want 6", got)
+	}
+}
+
+func TestExpectedValuePanicsOnLengthMismatch(t *testing.T) {
+	d, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpectedValue with wrong length did not panic")
+		}
+	}()
+	d.ExpectedValue([]float64{1, 2})
+}
+
+func TestAccessors(t *testing.T) {
+	d, err := New(7, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 7 {
+		t.Errorf("N() = %d, want 7", d.N())
+	}
+	if d.Theta() != 0.25 {
+		t.Errorf("Theta() = %v, want 0.25", d.Theta())
+	}
+	if len(d.Probs()) != 7 {
+		t.Errorf("len(Probs()) = %d, want 7", len(d.Probs()))
+	}
+}

@@ -1,0 +1,295 @@
+package semicont
+
+import "fmt"
+
+// PlacementKind selects a static video placement strategy.
+type PlacementKind int
+
+// The placement strategies of Sections 3.2 and 4.4.
+const (
+	// EvenPlacement gives every video the same number of copies
+	// (randomized rounding), oblivious to popularity.
+	EvenPlacement PlacementKind = iota
+	// PredictivePlacement allocates copies in proportion to perfectly
+	// predicted popularity, at least one copy each.
+	PredictivePlacement
+	// PartialPredictivePlacement is even allocation plus a few extra
+	// copies of the most popular videos — the paper's model of limited
+	// prediction ability.
+	PartialPredictivePlacement
+)
+
+// String implements fmt.Stringer.
+func (k PlacementKind) String() string {
+	switch k {
+	case EvenPlacement:
+		return "even"
+	case PredictivePlacement:
+		return "predictive"
+	case PartialPredictivePlacement:
+		return "partial-predictive"
+	default:
+		return fmt.Sprintf("PlacementKind(%d)", int(k))
+	}
+}
+
+// UnlimitedHops configures migration without a per-request lifetime
+// bound (mirrors core.UnlimitedHops).
+const UnlimitedHops = -1
+
+// DefaultReceiveCap is the client receive bandwidth limit applied in
+// the paper's staging experiments (Section 4.3), in Mb/s.
+const DefaultReceiveCap = 30.0
+
+// Policy bundles the three mechanisms under study: placement, dynamic
+// request migration, and client staging. The paper's Figure 6 evaluates
+// the eight combinations P1–P8; PaperPolicies returns them.
+type Policy struct {
+	// Name labels the policy in reports.
+	Name string
+
+	// Placement selects the static allocation strategy.
+	Placement PlacementKind
+
+	// PartialTopFraction and PartialExtra parameterize
+	// PartialPredictivePlacement (zero values mean top 10%, +2 copies).
+	PartialTopFraction float64
+	PartialExtra       int
+
+	// Migration enables DRM. MaxHops bounds lifetime migrations per
+	// request (0 means the paper's default of 1; UnlimitedHops removes
+	// the bound). MaxChain bounds migrations per arrival (0 means 1).
+	Migration bool
+	MaxHops   int
+	MaxChain  int
+
+	// SwitchDelay is the blackout a migrating stream suffers, in
+	// seconds; the client buffer must cover it (0 = instantaneous).
+	SwitchDelay float64
+
+	// StagingFrac is the client staging buffer as a fraction of the
+	// average video object size (the paper's "percentage buffer").
+	// Zero disables workahead entirely.
+	StagingFrac float64
+
+	// ReceiveCap limits a client's receive bandwidth in Mb/s when
+	// staging is on. Zero means DefaultReceiveCap; negative means
+	// unlimited.
+	ReceiveCap float64
+
+	// Intermittent switches the server scheduler from the paper's
+	// minimum-flow class to the intermittent class (Section 3.3):
+	// streams with full buffers may be paused entirely so the server
+	// can over-subscribe its slots. The heuristic admission rule risks
+	// playback glitches, reported in Result.GlitchedStreams — this is
+	// the ablation for the paper's choice of minimum-flow. Requires
+	// StagingFrac > 0 (or a ClientMix with buffers).
+	Intermittent bool
+
+	// ResumeGuard is the intermittent scheduler's urgency threshold in
+	// seconds of buffered playback (0 = the 30 s default).
+	ResumeGuard float64
+
+	// ClientMix, when non-empty, makes the client population
+	// heterogeneous: each admitted request draws one class. It
+	// overrides StagingFrac/ReceiveCap per client.
+	ClientMix []ClientClass
+
+	// Replicate enables dynamic replication: when a request is rejected,
+	// the controller copies the video onto a server with storage room,
+	// consuming spare source bandwidth, so future requests find an
+	// extra replica — the resource-intensive alternative to DRM that
+	// Section 3.1 mentions.
+	Replicate bool
+
+	// ReplicationRate caps one copy job's bandwidth in Mb/s
+	// (0 = twice the view rate).
+	ReplicationRate float64
+
+	// Spare selects the workahead discipline: how spare bandwidth is
+	// divided among staging candidates. EFTFSpare (default) is the
+	// paper's algorithm; LFTFSpare and EvenSplitSpare are ablations of
+	// the Theorem's scheduling rule.
+	Spare SpareKind
+
+	// PatchWindowSec enables multicast patching when positive: a new
+	// request for a video already streaming taps that transmission and
+	// receives only the missed prefix as a short unicast patch, if the
+	// prefix fits both this window (seconds of playback) and the
+	// client's staging buffer. Incompatible with Intermittent and
+	// PauseProb.
+	PatchWindowSec float64
+
+	// PauseProb enables viewer interactivity: the probability that a
+	// viewing pauses once, at a uniformly random playback point, for a
+	// uniform duration in [MinPauseSec, MaxPauseSec]. The paper's EFTF
+	// optimality theorem assumes no pauses; this knob measures what
+	// interactivity does to the mechanisms (future work, Section 6).
+	PauseProb   float64
+	MinPauseSec float64
+	MaxPauseSec float64
+}
+
+// SpareKind mirrors the engine's spare-bandwidth disciplines.
+type SpareKind int
+
+// Workahead disciplines for Policy.Spare.
+const (
+	// EFTFSpare is Earliest Finishing Time First (the paper's Fig. 2).
+	EFTFSpare SpareKind = iota
+	// LFTFSpare is Latest Finishing Time First, the adversarial
+	// opposite used by the A-EFTF ablation.
+	LFTFSpare
+	// EvenSplitSpare divides spare bandwidth equally (water-filling).
+	EvenSplitSpare
+)
+
+// String implements fmt.Stringer.
+func (k SpareKind) String() string {
+	switch k {
+	case EFTFSpare:
+		return "eftf"
+	case LFTFSpare:
+		return "lftf"
+	case EvenSplitSpare:
+		return "even-split"
+	default:
+		return fmt.Sprintf("SpareKind(%d)", int(k))
+	}
+}
+
+// ClientClass is one kind of client in a heterogeneous population
+// (e.g. set-top boxes with disks vs. thin clients without).
+type ClientClass struct {
+	// Weight is the class's relative frequency.
+	Weight float64
+	// StagingFrac is this class's buffer as a fraction of the average
+	// object size (0 = no staging buffer).
+	StagingFrac float64
+	// ReceiveCap is this class's receive bandwidth in Mb/s
+	// (0 = unlimited).
+	ReceiveCap float64
+}
+
+// maxHops returns the effective hops bound.
+func (p Policy) maxHops() int {
+	if p.MaxHops == 0 {
+		return 1
+	}
+	return p.MaxHops
+}
+
+// maxChain returns the effective chain bound.
+func (p Policy) maxChain() int {
+	if p.MaxChain == 0 {
+		return 1
+	}
+	return p.MaxChain
+}
+
+// receiveCap returns the effective client receive cap (0 = unlimited).
+func (p Policy) receiveCap() float64 {
+	switch {
+	case p.ReceiveCap < 0:
+		return 0
+	case p.ReceiveCap == 0:
+		return DefaultReceiveCap
+	default:
+		return p.ReceiveCap
+	}
+}
+
+// Validate reports policy errors.
+func (p Policy) Validate() error {
+	switch {
+	case p.Placement < EvenPlacement || p.Placement > PartialPredictivePlacement:
+		return fmt.Errorf("semicont: unknown placement %d", int(p.Placement))
+	case p.StagingFrac < 0:
+		return fmt.Errorf("semicont: negative StagingFrac %g", p.StagingFrac)
+	case p.SwitchDelay < 0:
+		return fmt.Errorf("semicont: negative SwitchDelay %g", p.SwitchDelay)
+	case p.Migration && p.MaxHops < UnlimitedHops:
+		return fmt.Errorf("semicont: MaxHops %d (use UnlimitedHops=-1)", p.MaxHops)
+	case p.Migration && p.MaxChain < 0:
+		return fmt.Errorf("semicont: negative MaxChain %d", p.MaxChain)
+	case p.ResumeGuard < 0:
+		return fmt.Errorf("semicont: negative ResumeGuard %g", p.ResumeGuard)
+	case p.ReplicationRate < 0:
+		return fmt.Errorf("semicont: negative ReplicationRate %g", p.ReplicationRate)
+	case p.Spare < EFTFSpare || p.Spare > EvenSplitSpare:
+		return fmt.Errorf("semicont: unknown spare discipline %d", int(p.Spare))
+	case p.PatchWindowSec < 0:
+		return fmt.Errorf("semicont: negative PatchWindowSec %g", p.PatchWindowSec)
+	case p.PauseProb < 0 || p.PauseProb > 1:
+		return fmt.Errorf("semicont: PauseProb %g outside [0,1]", p.PauseProb)
+	case p.PauseProb > 0 && (p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
+		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
+	}
+	if p.Intermittent && p.StagingFrac == 0 && len(p.ClientMix) == 0 {
+		return fmt.Errorf("semicont: intermittent scheduling needs client staging buffers")
+	}
+	total := 0.0
+	for i, c := range p.ClientMix {
+		if c.Weight < 0 || c.StagingFrac < 0 || c.ReceiveCap < 0 {
+			return fmt.Errorf("semicont: client class %d has negative fields: %+v", i, c)
+		}
+		total += c.Weight
+	}
+	if len(p.ClientMix) > 0 && total <= 0 {
+		return fmt.Errorf("semicont: ClientMix has no positive weight")
+	}
+	return nil
+}
+
+// The eight policies of the paper's Figure 6. P1–P4 are oblivious to
+// popularity (even placement); P5–P8 assume perfect prediction. Within
+// each group the four combinations of migration and 20% client staging
+// are covered.
+
+// PolicyP1 returns even placement, no migration, no staging.
+func PolicyP1() Policy {
+	return Policy{Name: "P1", Placement: EvenPlacement}
+}
+
+// PolicyP2 returns even placement, no migration, 20% staging.
+func PolicyP2() Policy {
+	return Policy{Name: "P2", Placement: EvenPlacement, StagingFrac: 0.2}
+}
+
+// PolicyP3 returns even placement with migration, no staging.
+func PolicyP3() Policy {
+	return Policy{Name: "P3", Placement: EvenPlacement, Migration: true}
+}
+
+// PolicyP4 returns even placement with migration and 20% staging.
+func PolicyP4() Policy {
+	return Policy{Name: "P4", Placement: EvenPlacement, Migration: true, StagingFrac: 0.2}
+}
+
+// PolicyP5 returns predictive placement, no migration, no staging.
+func PolicyP5() Policy {
+	return Policy{Name: "P5", Placement: PredictivePlacement}
+}
+
+// PolicyP6 returns predictive placement, no migration, 20% staging.
+func PolicyP6() Policy {
+	return Policy{Name: "P6", Placement: PredictivePlacement, StagingFrac: 0.2}
+}
+
+// PolicyP7 returns predictive placement with migration, no staging.
+func PolicyP7() Policy {
+	return Policy{Name: "P7", Placement: PredictivePlacement, Migration: true}
+}
+
+// PolicyP8 returns predictive placement with migration and 20% staging.
+func PolicyP8() Policy {
+	return Policy{Name: "P8", Placement: PredictivePlacement, Migration: true, StagingFrac: 0.2}
+}
+
+// PaperPolicies returns P1–P8 in order.
+func PaperPolicies() []Policy {
+	return []Policy{
+		PolicyP1(), PolicyP2(), PolicyP3(), PolicyP4(),
+		PolicyP5(), PolicyP6(), PolicyP7(), PolicyP8(),
+	}
+}

@@ -1,0 +1,384 @@
+package semicont
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semicont/internal/catalog"
+	"semicont/internal/core"
+	"semicont/internal/placement"
+	"semicont/internal/rng"
+	"semicont/internal/stats"
+	"semicont/internal/workload"
+)
+
+// Paper-default experiment scale (Section 4.1).
+const (
+	// PaperHorizonHours is the simulated duration of one trial in the
+	// paper (1000 hours).
+	PaperHorizonHours = 1000.0
+	// PaperTrials is the number of independent trials per data point.
+	PaperTrials = 5
+)
+
+// Seed-stream labels for rng.DeriveSeed; distinct consumers of
+// randomness get decoupled streams.
+const (
+	seedCatalog uint64 = iota + 1
+	seedPlacement
+	seedArrivals
+	seedClients
+	seedInteract
+)
+
+// Scenario is one fully specified simulation run.
+type Scenario struct {
+	System System
+	Policy Policy
+
+	// Theta is the Zipf demand-skew parameter (paper convention:
+	// 1 = uniform demand, negative = extremely skewed).
+	Theta float64
+
+	// HorizonHours is the simulated duration during which requests
+	// arrive; in-flight streams always drain to completion afterwards.
+	HorizonHours float64
+
+	// LoadFactor scales the calibrated arrival rate; 1.0 (the default
+	// when zero) reproduces the paper's offered load = capacity.
+	LoadFactor float64
+
+	// Seed selects the random streams. Equal scenarios with equal seeds
+	// produce bit-identical results.
+	Seed uint64
+
+	// FailServer / FailAtHours optionally crash one server mid-run
+	// (FailAtHours > 0 enables).
+	FailServer  int
+	FailAtHours float64
+
+	// CheckInvariants enables per-event model assertions (slow; tests).
+	CheckInvariants bool
+
+	// Observer, when non-nil, receives admission/migration/finish
+	// notifications (see internal/trace for a ready-made recorder).
+	Observer Observer
+}
+
+// Observer mirrors the engine's lifecycle callback interface so that
+// callers outside the internal tree can subscribe to events.
+type Observer interface {
+	OnAdmit(t float64, reqID int64, video, server int, viaMigration bool)
+	OnReject(t float64, video int)
+	OnMigrate(t float64, reqID int64, video, from, to int, rescue bool)
+	OnFinish(t float64, reqID int64, video, server int)
+	OnFailure(t float64, server int, rescued, dropped int)
+	OnReplicate(t float64, video, from, to int)
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Utilization is the paper's headline metric: Σ accepted sizes /
+	// (total bandwidth × horizon).
+	Utilization float64
+	// RejectionRatio is rejected / offered requests.
+	RejectionRatio float64
+
+	Arrivals int64
+	Accepted int64
+	Rejected int64
+
+	AcceptedMb  float64
+	DeliveredMb float64
+	Completions int64
+
+	Migrations       int64
+	AdmissionsViaDRM int64
+	MeanChainLength  float64
+	MaxChainUsed     int
+
+	RescuedStreams int64
+	DroppedStreams int64
+
+	// GlitchedStreams counts playback interruptions under the
+	// intermittent scheduler (always zero under minimum-flow).
+	GlitchedStreams int64
+
+	// Dynamic replication accounting.
+	ReplicationsStarted   int64
+	ReplicationsCompleted int64
+	ReplicatedMb          float64
+
+	// ViewerPauses counts interactivity pauses applied to live streams.
+	ViewerPauses int64
+
+	// Patching accounting: joins served by tapping ongoing streams and
+	// the data delivered over shared streams (free of server
+	// bandwidth; excluded from AcceptedMb and Utilization).
+	PatchedJoins int64
+	SharedMb     float64
+
+	// ArrivalRate is the calibrated Poisson rate, requests/second.
+	ArrivalRate float64
+	// TotalBandwidthMbps and HorizonSeconds are the utilization
+	// denominator's factors, recorded for reproducibility.
+	TotalBandwidthMbps float64
+	HorizonSeconds     float64
+	// StagingBufferMb is the client buffer implied by the policy's
+	// StagingFrac for this catalog.
+	StagingBufferMb float64
+	// PlacedCopies and PlacementShortfall record the realized layout.
+	PlacedCopies       int
+	PlacementShortfall int
+}
+
+// Validate reports scenario errors.
+func (sc Scenario) Validate() error {
+	if err := sc.System.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Policy.Validate(); err != nil {
+		return err
+	}
+	if sc.HorizonHours <= 0 {
+		return fmt.Errorf("semicont: HorizonHours must be positive, got %g", sc.HorizonHours)
+	}
+	if sc.LoadFactor < 0 {
+		return fmt.Errorf("semicont: negative LoadFactor %g", sc.LoadFactor)
+	}
+	if sc.FailAtHours > 0 && (sc.FailServer < 0 || sc.FailServer >= sc.System.NumServers) {
+		return fmt.Errorf("semicont: FailServer %d outside cluster of %d", sc.FailServer, sc.System.NumServers)
+	}
+	return nil
+}
+
+// Run executes one simulation and returns its result.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sys, pol := sc.System, sc.Policy
+
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: sys.NumVideos,
+		MinLength: sys.MinVideoLength,
+		MaxLength: sys.MaxVideoLength,
+		ViewRate:  sys.ViewRate,
+		Theta:     sc.Theta,
+	}, rng.New(rng.DeriveSeed(sc.Seed, seedCatalog)))
+	if err != nil {
+		return nil, err
+	}
+
+	lay, err := placement.Build(placementStrategy(pol), cat, sys.AvgCopies,
+		sys.capacities(), rng.New(rng.DeriveSeed(sc.Seed, seedPlacement)))
+	if err != nil {
+		return nil, err
+	}
+
+	load := sc.LoadFactor
+	if load == 0 {
+		load = 1
+	}
+	rate, err := workload.CalibratedRate(cat, sys.TotalBandwidth(), load)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(cat, rate, rng.New(rng.DeriveSeed(sc.Seed, seedArrivals)))
+	if err != nil {
+		return nil, err
+	}
+
+	bufMb := pol.StagingFrac * cat.AvgSize()
+	cfg := core.Config{
+		ServerBandwidth: sys.bandwidths(),
+		ViewRate:        sys.ViewRate,
+		BufferCapacity:  bufMb,
+		Workahead:       pol.StagingFrac > 0,
+		Spare:           core.SpareDiscipline(pol.Spare),
+		Intermittent:    pol.Intermittent,
+		ResumeGuard:     pol.ResumeGuard,
+		CheckInvariants: sc.CheckInvariants,
+		Migration: core.MigrationConfig{
+			Enabled:     pol.Migration,
+			MaxHops:     pol.maxHops(),
+			MaxChain:    pol.maxChain(),
+			SwitchDelay: pol.SwitchDelay,
+		},
+		Replication: core.ReplicationConfig{
+			Enabled:     pol.Replicate,
+			CopyRateCap: pol.ReplicationRate,
+		},
+		Patching: core.PatchingConfig{
+			Enabled: pol.PatchWindowSec > 0,
+			Window:  pol.PatchWindowSec,
+		},
+		Interactivity: core.InteractivityConfig{
+			PauseProb: pol.PauseProb,
+			MinPause:  pol.MinPauseSec,
+			MaxPause:  pol.MaxPauseSec,
+			Seed:      rng.DeriveSeed(sc.Seed, seedInteract),
+		},
+	}
+	if pol.Replicate {
+		cfg.ServerStorage = sys.capacities()
+	}
+	for _, cl := range pol.ClientMix {
+		cfg.ClientClasses = append(cfg.ClientClasses, core.ClientClass{
+			Weight:         cl.Weight,
+			BufferCapacity: cl.StagingFrac * cat.AvgSize(),
+			ReceiveCap:     cl.ReceiveCap,
+		})
+		if cl.StagingFrac > 0 {
+			cfg.Workahead = true
+		}
+	}
+	cfg.ClientSeed = rng.DeriveSeed(sc.Seed, seedClients)
+	if cfg.Workahead {
+		cfg.ReceiveCap = pol.receiveCap()
+	}
+
+	eng, err := core.NewEngine(cfg, cat, lay, gen)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Observer != nil {
+		eng.SetObserver(observerAdapter{sc.Observer})
+	}
+	horizon := sc.HorizonHours * 3600
+	if sc.FailAtHours > 0 {
+		if err := eng.ScheduleFailure(sc.FailAtHours*3600, sc.FailServer); err != nil {
+			return nil, err
+		}
+	}
+	m, err := eng.Run(horizon)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Utilization:           m.Utilization(sys.TotalBandwidth(), horizon),
+		RejectionRatio:        m.RejectionRatio(),
+		Arrivals:              m.Arrivals,
+		Accepted:              m.Accepted,
+		Rejected:              m.Rejected,
+		AcceptedMb:            m.AcceptedBytes,
+		DeliveredMb:           m.DeliveredBytes,
+		Completions:           m.Completions,
+		Migrations:            m.Migrations,
+		AdmissionsViaDRM:      m.AdmissionsViaDRM,
+		MaxChainUsed:          m.MaxChainUsed,
+		RescuedStreams:        m.RescuedStreams,
+		DroppedStreams:        m.DroppedStreams,
+		GlitchedStreams:       m.GlitchedStreams,
+		ReplicationsStarted:   m.ReplicationsStarted,
+		ReplicationsCompleted: m.ReplicationsCompleted,
+		ReplicatedMb:          m.ReplicatedMb,
+		ViewerPauses:          m.ViewerPauses,
+		PatchedJoins:          m.PatchedJoins,
+		SharedMb:              m.SharedMb,
+		ArrivalRate:           rate,
+		TotalBandwidthMbps:    sys.TotalBandwidth(),
+		HorizonSeconds:        horizon,
+		StagingBufferMb:       bufMb,
+		PlacedCopies:          lay.TotalCopies(),
+		PlacementShortfall:    lay.Shortfall(),
+	}
+	if m.AdmissionsViaDRM > 0 {
+		res.MeanChainLength = float64(m.ChainLengthTotal) / float64(m.AdmissionsViaDRM)
+	}
+	return res, nil
+}
+
+func placementStrategy(p Policy) placement.Strategy {
+	switch p.Placement {
+	case PredictivePlacement:
+		return placement.Predictive{}
+	case PartialPredictivePlacement:
+		return placement.PartialPredictive{
+			TopFraction: p.PartialTopFraction,
+			Extra:       p.PartialExtra,
+		}
+	default:
+		return placement.Even{}
+	}
+}
+
+type observerAdapter struct{ o Observer }
+
+func (a observerAdapter) OnAdmit(t float64, reqID int64, video, server int, viaMigration bool) {
+	a.o.OnAdmit(t, reqID, video, server, viaMigration)
+}
+func (a observerAdapter) OnReject(t float64, video int) { a.o.OnReject(t, video) }
+func (a observerAdapter) OnMigrate(t float64, reqID int64, video, from, to int, rescue bool) {
+	a.o.OnMigrate(t, reqID, video, from, to, rescue)
+}
+func (a observerAdapter) OnFinish(t float64, reqID int64, video, server int) {
+	a.o.OnFinish(t, reqID, video, server)
+}
+func (a observerAdapter) OnFailure(t float64, server int, rescued, dropped int) {
+	a.o.OnFailure(t, server, rescued, dropped)
+}
+func (a observerAdapter) OnReplicate(t float64, video, from, to int) {
+	a.o.OnReplicate(t, video, from, to)
+}
+
+// Aggregate summarizes independent trials of one scenario.
+type Aggregate struct {
+	Scenario Scenario
+	Results  []*Result
+
+	Utilization stats.Sample
+	Rejection   stats.Sample
+	Migrations  stats.Sample
+}
+
+// RunTrials executes n independent trials (the trial index perturbs the
+// seed) concurrently and aggregates the headline metrics. Trials are
+// deterministic individually, so the aggregate is reproducible
+// regardless of scheduling.
+func RunTrials(sc Scenario, n int) (*Aggregate, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("semicont: trial count must be positive, got %d", n)
+	}
+	if sc.Observer != nil {
+		return nil, fmt.Errorf("semicont: observers are per-run; attach one via Run instead")
+	}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				trial := sc
+				trial.Seed = rng.DeriveSeed(sc.Seed, 0x7472_69616c, uint64(i)) // "trial"
+				results[i], errs[i] = Run(trial)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg := &Aggregate{Scenario: sc, Results: results}
+	for _, r := range results {
+		agg.Utilization.Add(r.Utilization)
+		agg.Rejection.Add(r.RejectionRatio)
+		agg.Migrations.Add(float64(r.Migrations))
+	}
+	return agg, nil
+}

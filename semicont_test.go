@@ -1,0 +1,85 @@
+package semicont
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperSystems(t *testing.T) {
+	small := SmallSystem()
+	if small.NumServers != 5 || small.ServerBandwidth != 100 || small.ViewRate != 3 {
+		t.Errorf("small system = %+v", small)
+	}
+	if small.SVBR() != 100.0/3 {
+		t.Errorf("small SVBR = %v", small.SVBR())
+	}
+	if small.MinVideoLength != 600 || small.MaxVideoLength != 1800 {
+		t.Errorf("small lengths = %v–%v", small.MinVideoLength, small.MaxVideoLength)
+	}
+	large := LargeSystem()
+	if large.NumServers != 20 || large.ServerBandwidth != 300 {
+		t.Errorf("large system = %+v", large)
+	}
+	if large.MinVideoLength != 3600 || large.MaxVideoLength != 7200 {
+		t.Errorf("large lengths = %v–%v", large.MinVideoLength, large.MaxVideoLength)
+	}
+	if small.TotalBandwidth() != 500 || large.TotalBandwidth() != 6000 {
+		t.Errorf("totals = %v, %v", small.TotalBandwidth(), large.TotalBandwidth())
+	}
+	for _, sys := range []System{small, large, SingleServer(33)} {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name, err)
+		}
+	}
+}
+
+func TestSingleServer(t *testing.T) {
+	s := SingleServer(33)
+	if s.NumServers != 1 || s.ServerBandwidth != 99 {
+		t.Errorf("SingleServer(33) = %+v", s)
+	}
+	if s.SVBR() != 33 {
+		t.Errorf("SVBR = %v", s.SVBR())
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"no servers", func(s *System) { s.NumServers = 0 }},
+		{"bandwidth mismatch", func(s *System) { s.Bandwidths = []float64{1, 2} }},
+		{"capacity mismatch", func(s *System) { s.Capacities = []float64{1} }},
+		{"zero bandwidth", func(s *System) { s.ServerBandwidth = 0 }},
+		{"zero disk", func(s *System) { s.DiskCapacity = 0 }},
+		{"no videos", func(s *System) { s.NumVideos = 0 }},
+		{"bad lengths", func(s *System) { s.MaxVideoLength = s.MinVideoLength - 1 }},
+		{"low copies", func(s *System) { s.AvgCopies = 0.5 }},
+		{"zero view rate", func(s *System) { s.ViewRate = 0 }},
+	}
+	for _, tc := range cases {
+		sys := SmallSystem()
+		tc.mutate(&sys)
+		if err := sys.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestHeterogeneousOverrides(t *testing.T) {
+	sys := SmallSystem()
+	sys.Bandwidths = []float64{150, 50, 150, 50, 100}
+	sys.Capacities = []float64{1e6, 1e6, 1e6, 1e6, 1e6}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TotalBandwidth(); !approxEq(got, 500, 1e-9) {
+		t.Errorf("TotalBandwidth = %v", got)
+	}
+	if sys.SVBR() != 50 {
+		t.Errorf("SVBR uses server 0: %v", sys.SVBR())
+	}
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
