@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,35 +82,46 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, tbl := range out.Tables {
-			if err := tbl.Write(os.Stdout); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
-		}
-		for _, fig := range out.Figures {
-			tbl, err := report.SeriesTable(fig.Title, fig.XLabel, fig.Series)
-			if err != nil {
-				fatal(err)
-			}
-			if err := tbl.Write(os.Stdout); err != nil {
-				fatal(err)
-			}
-			if fig.Notes != "" {
-				fmt.Printf("note: %s\n", fig.Notes)
-			}
-			fmt.Println()
-			if *outDir != "" {
-				if err := writeCSV(*outDir, fig); err != nil {
-					fatal(err)
-				}
-			}
+		if err := renderOutput(os.Stdout, out, *outDir); err != nil {
+			fatal(err)
 		}
 		fmt.Printf("(%s done in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }
 
-func writeCSV(dir string, fig experiments.Figure) error {
+// renderOutput prints one experiment's tables and figures to w as
+// aligned text; when csvDir is non-empty every figure is also written
+// there as <figure id>.csv. It is the whole presentation layer of the
+// command, factored out so the rendering is testable against goldens.
+func renderOutput(w io.Writer, out *experiments.Output, csvDir string) error {
+	for _, tbl := range out.Tables {
+		if err := tbl.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, fig := range out.Figures {
+		tbl, err := report.SeriesTable(fig.Title, fig.XLabel, fig.Series)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Write(w); err != nil {
+			return err
+		}
+		if fig.Notes != "" {
+			fmt.Fprintf(w, "note: %s\n", fig.Notes)
+		}
+		fmt.Fprintln(w)
+		if csvDir != "" {
+			if err := writeCSV(w, csvDir, fig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(w io.Writer, dir string, fig experiments.Figure) error {
 	path := filepath.Join(dir, fig.ID+".csv")
 	f, err := os.Create(path)
 	if err != nil {
@@ -119,7 +131,7 @@ func writeCSV(dir string, fig experiments.Figure) error {
 	if err := report.WriteSeriesCSV(f, fig.XLabel, fig.Series); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(w, "wrote %s\n", path)
 	return f.Close()
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semicont/internal/experiments"
+	"semicont/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestRenderTablesGolden pins the command's rendering of the paper's
+// two pure tables (Figure 3 parameters, Figure 6 policies). Both are
+// deterministic — no simulation runs — so the full output is
+// byte-comparable.
+func TestRenderTablesGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		out  *experiments.Output
+	}{
+		{"t3.golden", experiments.TableFig3()},
+		{"t6.golden", experiments.TableFig6()},
+	} {
+		var buf bytes.Buffer
+		if err := renderOutput(&buf, tc.out, ""); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		golden(t, tc.name, buf.Bytes())
+	}
+}
+
+// TestRenderFiguresGolden covers the figure path of renderOutput —
+// series table, notes line, and CSV side output — with a synthetic
+// deterministic figure.
+func TestRenderFiguresGolden(t *testing.T) {
+	out := &experiments.Output{
+		ID:    "synthetic",
+		Title: "synthetic figure",
+		Figures: []experiments.Figure{{
+			ID:     "synthetic-fig",
+			Title:  "Utilization vs theta",
+			XLabel: "theta",
+			Notes:  "two fixed curves, no simulation",
+			Series: []stats.Series{
+				{Name: "base", Points: []stats.Point{
+					{X: -1, Mean: 0.7, CI95: 0.01},
+					{X: 1, Mean: 0.9, CI95: 0.02},
+				}},
+				{Name: "tuned", Points: []stats.Point{
+					{X: -1, Mean: 0.8, CI95: 0.005},
+					{X: 1, Mean: 0.95, CI95: 0},
+				}},
+			},
+		}},
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := renderOutput(&buf, out, dir); err != nil {
+		t.Fatal(err)
+	}
+	// The CSV path embeds the temp dir; normalize it before comparing.
+	text := strings.ReplaceAll(buf.String(), dir, "OUT")
+	golden(t, "figure.golden", []byte(text))
+
+	csv, err := os.ReadFile(filepath.Join(dir, "synthetic-fig.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure.csv.golden", csv)
+}

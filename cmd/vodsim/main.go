@@ -49,6 +49,7 @@ func main() {
 		failSrv   = flag.Int("fail-server", 0, "server to fail")
 		traceOut  = flag.String("trace", "", "write an event trace CSV to this file (single trial only)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking (slow)")
+		auditOn   = flag.Bool("audit", false, "attach the invariant auditor: every event is checked against the model's conservation laws; a violation aborts the run with a structured error")
 	)
 	flag.Parse()
 
@@ -114,6 +115,7 @@ func main() {
 		FailServer:      *failSrv,
 		FailAtHours:     *failAt,
 		CheckInvariants: *check,
+		Audit:           *auditOn,
 	}
 
 	if *traceOut != "" {
@@ -223,6 +225,9 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 	if r.PlacementShortfall > 0 {
 		fmt.Printf("placement          WARNING: %d replicas did not fit (placed %d)\n",
 			r.PlacementShortfall, r.PlacedCopies)
+	}
+	if sc.Audit {
+		fmt.Printf("audit              %d events checked, 0 violations\n", r.AuditedEvents)
 	}
 }
 

@@ -1,0 +1,79 @@
+package semicont
+
+import "testing"
+
+// FuzzScenarioValidate fuzzes the public configuration surface against
+// the validation authority contract: Validate must never panic on any
+// input, and a scenario that validates must build and run. The second
+// half is gated behind a bounded envelope so the fuzzer cannot demand a
+// multi-hour simulation — inside the envelope a clean Validate followed
+// by a Run error (other than an audit violation, which would be an
+// engine bug in its own right) means Validate let something through
+// that the construction path rejects, i.e. a gap in the contract.
+func FuzzScenarioValidate(f *testing.F) {
+	f.Add(5, 100.0, 50, 600.0, 1800.0, 2.2, 3.0,
+		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 0.271, 1.0, 0.0, 0, uint64(1))
+	f.Add(2, 30.0, 25, 300.0, 900.0, 2.0, 3.0,
+		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, -1.0, 1.2, 0.5, 1, uint64(7))
+	f.Add(3, 45.0, 25, 300.0, 900.0, 2.0, 3.0,
+		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 1.0, 1.0, 0.0, 0, uint64(9))
+	f.Add(4, 60.0, 30, 300.0, 900.0, 2.0, 3.0,
+		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, -1.5, 1.0, 0.0, 0, uint64(3))
+	f.Fuzz(func(t *testing.T,
+		numServers int, bw float64, numVideos int, minLen, maxLen, avgCopies, viewRate float64,
+		stagingFrac float64, spare int, migration bool, maxHops, maxChain int,
+		replicate, intermittent bool, patchWindow, pauseProb float64,
+		theta, load, failAt float64, failServer int, seed uint64) {
+		sc := Scenario{
+			System: System{
+				Name:            "fuzz",
+				NumServers:      numServers,
+				ServerBandwidth: bw,
+				DiskCapacity:    1e6,
+				NumVideos:       numVideos,
+				MinVideoLength:  minLen,
+				MaxVideoLength:  maxLen,
+				AvgCopies:       avgCopies,
+				ViewRate:        viewRate,
+			},
+			Policy: Policy{
+				Name:           "fuzz",
+				StagingFrac:    stagingFrac,
+				Spare:          SpareKind(spare),
+				Migration:      migration,
+				MaxHops:        maxHops,
+				MaxChain:       maxChain,
+				Replicate:      replicate,
+				Intermittent:   intermittent,
+				PatchWindowSec: patchWindow,
+				PauseProb:      pauseProb,
+				MinPauseSec:    30,
+				MaxPauseSec:    120,
+			},
+			Theta:        theta,
+			HorizonHours: 1,
+			LoadFactor:   load,
+			Seed:         seed,
+			FailServer:   failServer,
+			FailAtHours:  failAt,
+		}
+		if err := sc.Validate(); err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Bounded envelope: small enough that a run takes milliseconds.
+		if numServers > 5 || numVideos > 50 || bw > 150 ||
+			viewRate < 1 || minLen < 60 || maxLen > 1800 ||
+			theta < -2 || theta > 2 || load > 1.5 ||
+			stagingFrac > 1 || patchWindow > 1800 {
+			return
+		}
+		sc.HorizonHours = 0.05
+		if sc.FailAtHours > 0 {
+			sc.FailAtHours = 0.02 // keep the validated failure inside the run window
+		}
+		sc.Audit = true
+		if _, err := Run(sc); err != nil {
+			t.Fatalf("validated scenario failed to run: %v\nscenario: %+v", err, sc)
+		}
+	})
+}

@@ -1,0 +1,394 @@
+// Package audit implements an always-available invariant auditor for
+// the simulation core. It attaches to a core.Engine through the audit
+// taps (core.AuditTap) and re-derives, independently of the engine's
+// own bookkeeping, the conservation laws the paper's results rest on:
+//
+//   - bandwidth: per-server allocated bandwidth never exceeds capacity,
+//     and every unfinished, transmitting request receives at least
+//     b_view — the semi-continuous minimum-flow guarantee;
+//   - client state: staging buffers stay within [0, capacity] and no
+//     client receives faster than its receive cap;
+//   - EFTF: spare bandwidth is fed in earliest-projected-finish order,
+//     and no fuller-buffered later-finishing request is fed while an
+//     eligible earlier-finishing one still has headroom;
+//   - DRM: per-request hop budgets and per-admission chain lengths are
+//     respected, and every migration lands on a replica holder;
+//   - placement: every stream is served by a server that holds its
+//     video (tracked against the auditor's own replica map, updated
+//     only by replication taps), and dynamic replicas fit storage;
+//   - accounting: arrivals = accepted + rejected, accepted streams all
+//     finish or are dropped, and delivered volume never exceeds
+//     accepted volume.
+//
+// The auditor fails fast: the first violation aborts the run and
+// surfaces as a structured *Violation error naming the event, server,
+// and request involved. Enable it with Scenario.Audit (or the vodsim
+// -audit flag); every tier-1 test and the experiment registry run with
+// it on.
+package audit
+
+import (
+	"fmt"
+
+	"semicont/internal/core"
+)
+
+// Tolerances mirroring the core fluid model's (core keeps its own
+// unexported copies; the values are part of the model contract).
+const (
+	dataEps = 1e-6 // Mb
+	timeEps = 1e-9 // s
+)
+
+// Violation is one broken invariant, with enough context to locate the
+// offending event in a trace. It implements error and is the error type
+// Run returns when auditing rejects a simulation.
+type Violation struct {
+	// Rule names the invariant: "bandwidth", "min-flow", "receive-cap",
+	// "workahead-off", "buffer-underrun", "buffer-overflow", "overrun",
+	// "slots", "failed-active", "copy-rate", "eftf-order", "eftf-feed",
+	// "intermittent-order", "intermittent-feed", "hops", "chain",
+	// "migration-target", "replica", "replica-dup", "storage",
+	// "accounting".
+	Rule string
+
+	Time    float64 // simulation time of the violating event
+	Seq     uint64  // 1-based event sequence number (0 = before first event)
+	Event   string  // event kind being processed ("arrival", "wake", …)
+	Server  int     // offending server, −1 when not applicable
+	Request int64   // offending request, 0 when not applicable
+	Detail  string  // human-readable specifics
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("audit: %s violation at t=%.6g (event #%d %s, server %d, request %d): %s",
+		v.Rule, v.Time, v.Seq, v.Event, v.Server, v.Request, v.Detail)
+}
+
+// Auditor implements core.AuditTap. It keeps its own model of the
+// cluster's replica placement and storage use so the checks do not
+// trust the engine state they are checking. The zero value is not
+// usable; call New.
+type Auditor struct {
+	cfg    core.Config
+	begun  bool
+	events uint64
+
+	holders     []map[int32]bool // video → servers holding a replica
+	storageUsed []float64        // static + dynamic storage per server, Mb
+	rescued     map[int64]bool   // requests moved by failure rescue (hop budget waived)
+
+	// Current event context, established by BeginEvent, attributed to
+	// violations raised by in-event taps.
+	curSeq            uint64
+	curTime           float64
+	curKind           string
+	effMaxHops        int     // −1 = unlimited
+	effMaxChain       int     // ≥ 1
+	effCopyRateCap    float64 // Mb/s
+	migrationBounded  bool
+	storageCapEnabled bool
+
+	violations []Violation
+}
+
+// New returns an empty auditor ready to attach via Engine.SetAuditTap.
+func New() *Auditor {
+	return &Auditor{rescued: make(map[int64]bool)}
+}
+
+// Violations returns every violation recorded so far (at most one per
+// run under the fail-fast contract, but unit tests may accumulate more).
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Events returns how many engine events have been audited.
+func (a *Auditor) Events() uint64 { return a.events }
+
+// Err returns the first violation as an error, or nil when clean.
+func (a *Auditor) Err() error {
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return &a.violations[0]
+}
+
+// fail records a violation with the current event context and returns
+// it as the tap error that aborts the run.
+func (a *Auditor) fail(rule string, server int, request int64, format string, args ...any) error {
+	v := Violation{
+		Rule:    rule,
+		Time:    a.curTime,
+		Seq:     a.curSeq,
+		Event:   a.curKind,
+		Server:  server,
+		Request: request,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+	a.violations = append(a.violations, v)
+	return &a.violations[len(a.violations)-1]
+}
+
+// Begin implements core.AuditTap.
+func (a *Auditor) Begin(b core.AuditBegin) error {
+	a.cfg = b.Config
+	a.begun = true
+	a.curKind = "begin"
+	a.holders = make([]map[int32]bool, b.NumVideos)
+	for v, hs := range b.Holders {
+		set := make(map[int32]bool, len(hs))
+		for _, h := range hs {
+			set[h] = true
+		}
+		a.holders[v] = set
+	}
+	a.storageUsed = append([]float64(nil), b.StaticStorage...)
+	a.effMaxHops = core.UnlimitedHops
+	a.effMaxChain = 1
+	if m := b.Config.Migration; m.Enabled {
+		a.effMaxHops = m.MaxHops
+		if m.MaxChain > a.effMaxChain {
+			a.effMaxChain = m.MaxChain
+		}
+		a.migrationBounded = m.MaxHops != core.UnlimitedHops
+	}
+	a.effCopyRateCap = b.Config.Replication.CopyRateCap
+	if a.effCopyRateCap == 0 {
+		a.effCopyRateCap = 2 * b.Config.ViewRate
+	}
+	// A video may legitimately have no replica when the static placement
+	// ran out of storage (Result.PlacementShortfall warns); the per-event
+	// replica check catches any such video actually being served.
+	a.storageCapEnabled = len(b.Config.ServerStorage) > 0
+	return nil
+}
+
+// BeginEvent implements core.AuditTap.
+func (a *Auditor) BeginEvent(seq uint64, t float64, kind core.AuditEventKind, server int32, req int64) error {
+	a.curSeq, a.curTime, a.curKind = seq, t, kind.String()
+	return nil
+}
+
+// Event implements core.AuditTap: the per-event conservation checks.
+func (a *Auditor) Event(rec core.AuditEventRecord) error {
+	a.events++
+	bview := a.cfg.ViewRate
+	for si := range rec.Servers {
+		s := &rec.Servers[si]
+		sid := int(s.ID)
+		if s.Failed {
+			if len(s.Requests) != 0 {
+				return a.fail("failed-active", sid, s.Requests[0].ID,
+					"failed server still carries %d streams", len(s.Requests))
+			}
+			if len(s.Copies) != 0 {
+				return a.fail("failed-active", sid, 0,
+					"failed server still sources %d copy jobs", len(s.Copies))
+			}
+			continue
+		}
+		if !a.cfg.Intermittent && len(s.Requests) > s.Slots {
+			return a.fail("slots", sid, 0,
+				"%d streams on a server with %d minimum-flow slots", len(s.Requests), s.Slots)
+		}
+		total := 0.0
+		for ri := range s.Requests {
+			r := &s.Requests[ri]
+			total += r.Rate
+			if err := a.checkRequest(sid, r, bview); err != nil {
+				return err
+			}
+		}
+		for ci := range s.Copies {
+			c := &s.Copies[ci]
+			total += c.Rate
+			if c.Sent > c.Size+dataEps {
+				return a.fail("overrun", sid, 0,
+					"copy of video %d sent %g of %g Mb", c.Video, c.Sent, c.Size)
+			}
+			if c.Rate > a.effCopyRateCap+dataEps {
+				return a.fail("copy-rate", sid, 0,
+					"copy of video %d at %g Mb/s exceeds cap %g", c.Video, c.Rate, a.effCopyRateCap)
+			}
+		}
+		if total > s.Bandwidth+dataEps {
+			return a.fail("bandwidth", sid, 0,
+				"allocated %g of %g Mb/s", total, s.Bandwidth)
+		}
+		if a.storageCapEnabled {
+			if cap := a.cfg.ServerStorage[sid]; cap > 0 && a.storageUsed[sid] > cap+dataEps {
+				return a.fail("storage", sid, 0,
+					"storage %g Mb exceeds capacity %g Mb", a.storageUsed[sid], cap)
+			}
+		}
+	}
+	return nil
+}
+
+// checkRequest audits one in-flight request's fluid state.
+func (a *Auditor) checkRequest(sid int, r *core.AuditRequestState, bview float64) error {
+	if r.Sent > r.Size+dataEps {
+		return a.fail("overrun", sid, r.ID, "sent %g of %g Mb", r.Sent, r.Size)
+	}
+	if !a.cfg.Intermittent && !r.Suspended && !r.Finished() && !r.PausedView && r.Rate < bview-dataEps {
+		return a.fail("min-flow", sid, r.ID,
+			"rate %g Mb/s below the b_view=%g minimum-flow guarantee", r.Rate, bview)
+	}
+	if a.cfg.Workahead && r.RecvCap > 0 && r.Rate > r.RecvCap+dataEps {
+		return a.fail("receive-cap", sid, r.ID,
+			"rate %g Mb/s exceeds client receive cap %g", r.Rate, r.RecvCap)
+	}
+	if !a.cfg.Workahead && !r.Suspended && r.Rate > bview+dataEps {
+		return a.fail("workahead-off", sid, r.ID,
+			"rate %g Mb/s above b_view=%g with workahead disabled", r.Rate, bview)
+	}
+	if r.Buffer < -dataEps && !a.cfg.Intermittent {
+		return a.fail("buffer-underrun", sid, r.ID,
+			"buffer %g Mb at t=%g (playback outran delivery under minimum-flow)", r.Buffer, r.SyncedAt)
+	}
+	if r.Buffer > r.BufCap+bview*timeEps+dataEps {
+		return a.fail("buffer-overflow", sid, r.ID,
+			"buffer %g Mb exceeds capacity %g Mb", r.Buffer, r.BufCap)
+	}
+	if v := int(r.Video); v >= 0 && v < len(a.holders) && !a.holders[v][int32(sid)] {
+		return a.fail("replica", sid, r.ID,
+			"served by a server that holds no replica of video %d", v)
+	}
+	if a.migrationBounded && !a.rescued[r.ID] && int(r.Hops) > a.effMaxHops {
+		return a.fail("hops", sid, r.ID,
+			"%d lifetime migrations exceed MaxHops=%d", r.Hops, a.effMaxHops)
+	}
+	return nil
+}
+
+// SpareOrder implements core.AuditTap: the EFTF ordering checks.
+func (a *Auditor) SpareOrder(t float64, server int32, discipline core.SpareDiscipline, grants []core.SpareGrant) error {
+	if discipline != core.EFTF && discipline != core.LFTF {
+		return nil
+	}
+	starved := false // an earlier candidate still had receive headroom
+	for i := range grants {
+		g := &grants[i]
+		if i > 0 {
+			prev := &grants[i-1]
+			inOrder := g.Remaining+dataEps >= prev.Remaining
+			if discipline == core.LFTF {
+				inOrder = g.Remaining-dataEps <= prev.Remaining
+			}
+			if !inOrder {
+				return a.fail("eftf-order", int(server), g.Request,
+					"%s feed order broken: remaining %g Mb fed after %g Mb (request %d)",
+					discipline, g.Remaining, prev.Remaining, prev.Request)
+			}
+		}
+		if g.Extra > dataEps && starved {
+			return a.fail("eftf-feed", int(server), g.Request,
+				"granted %g Mb/s while an earlier-finishing candidate still had receive headroom", g.Extra)
+		}
+		saturated := g.RecvCap > 0 && g.RateBefore+g.Extra >= g.RecvCap-dataEps
+		if !saturated {
+			starved = true
+		}
+	}
+	return nil
+}
+
+// IntermittentOrder implements core.AuditTap: ascending-buffer feeding.
+func (a *Auditor) IntermittentOrder(t float64, server int32, grants []core.IntermittentGrant) error {
+	drained := false // bandwidth ran out at some earlier stream
+	for i := range grants {
+		g := &grants[i]
+		if i > 0 && g.Buffer+dataEps < grants[i-1].Buffer {
+			return a.fail("intermittent-order", int(server), g.Request,
+				"buffer %g Mb considered after %g Mb (request %d)",
+				g.Buffer, grants[i-1].Buffer, grants[i-1].Request)
+		}
+		if g.PausedFull {
+			continue // paused viewer with a full buffer: legitimately unfed anywhere
+		}
+		if g.Rate <= 0 {
+			drained = true
+		} else if drained {
+			return a.fail("intermittent-feed", int(server), g.Request,
+				"fed %g Mb/s after a drier stream was paused", g.Rate)
+		}
+	}
+	return nil
+}
+
+// Migration implements core.AuditTap: hop budgets and target legality.
+func (a *Auditor) Migration(t float64, req int64, video int32, from, to int32, hops int32, rescue bool) error {
+	if from == to {
+		return a.fail("migration-target", int(to), req, "migrated onto its own server")
+	}
+	if v := int(video); v >= 0 && v < len(a.holders) && !a.holders[v][to] {
+		return a.fail("migration-target", int(to), req,
+			"migrated to a server holding no replica of video %d", v)
+	}
+	if rescue {
+		a.rescued[req] = true
+		return nil
+	}
+	if a.migrationBounded && !a.rescued[req] && int(hops) > a.effMaxHops {
+		return a.fail("hops", int(to), req,
+			"migration %d exceeds MaxHops=%d", hops, a.effMaxHops)
+	}
+	return nil
+}
+
+// Chain implements core.AuditTap: per-admission chain bounds.
+func (a *Auditor) Chain(t float64, length int) error {
+	if length < 1 || length > a.effMaxChain {
+		return a.fail("chain", -1, 0,
+			"DRM chain of %d moves outside [1, %d]", length, a.effMaxChain)
+	}
+	return nil
+}
+
+// Replication implements core.AuditTap: replica and storage accounting.
+func (a *Auditor) Replication(t float64, video, from, to int32, size float64) error {
+	v := int(video)
+	if v < 0 || v >= len(a.holders) {
+		return a.fail("replica", int(to), 0, "replicated unknown video %d", v)
+	}
+	if !a.holders[v][from] {
+		return a.fail("replica", int(from), 0,
+			"replica of video %d copied from a non-holder", v)
+	}
+	if a.holders[v][to] {
+		return a.fail("replica-dup", int(to), 0,
+			"replica of video %d installed on a server that already holds it", v)
+	}
+	a.holders[v][to] = true
+	a.storageUsed[to] += size
+	if a.storageCapEnabled {
+		if cap := a.cfg.ServerStorage[to]; cap > 0 && a.storageUsed[to] > cap+dataEps {
+			return a.fail("storage", int(to), 0,
+				"replica of video %d (%g Mb) overflows storage: %g of %g Mb", v, size, a.storageUsed[to], cap)
+		}
+	}
+	return nil
+}
+
+// End implements core.AuditTap: global accounting identities, checked
+// once the run has drained.
+func (a *Auditor) End(t float64, m core.Metrics) error {
+	a.curTime, a.curKind = t, "end"
+	if m.Arrivals != m.Accepted+m.Rejected {
+		return a.fail("accounting", -1, 0,
+			"%d arrivals != %d accepted + %d rejected", m.Arrivals, m.Accepted, m.Rejected)
+	}
+	if m.Accepted != m.Completions+m.DroppedStreams {
+		return a.fail("accounting", -1, 0,
+			"%d accepted != %d completions + %d dropped after drain", m.Accepted, m.Completions, m.DroppedStreams)
+	}
+	if m.DeliveredBytes > m.AcceptedBytes*(1+1e-9)+dataEps {
+		return a.fail("accounting", -1, 0,
+			"delivered %g Mb exceeds accepted %g Mb", m.DeliveredBytes, m.AcceptedBytes)
+	}
+	if m.ChainLengthTotal > m.Migrations {
+		return a.fail("accounting", -1, 0,
+			"chain-length total %d exceeds %d migrations", m.ChainLengthTotal, m.Migrations)
+	}
+	return nil
+}

@@ -47,15 +47,18 @@ type Config struct {
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 	switch {
 	case c.NumVideos <= 0:
 		return fmt.Errorf("catalog: NumVideos must be positive, got %d", c.NumVideos)
-	case c.MinLength <= 0:
+	case bad(c.MinLength) || c.MinLength <= 0:
 		return fmt.Errorf("catalog: MinLength must be positive, got %g", c.MinLength)
-	case c.MaxLength < c.MinLength:
+	case bad(c.MaxLength) || c.MaxLength < c.MinLength:
 		return fmt.Errorf("catalog: MaxLength %g < MinLength %g", c.MaxLength, c.MinLength)
-	case c.ViewRate <= 0:
+	case bad(c.ViewRate) || c.ViewRate <= 0:
 		return fmt.Errorf("catalog: ViewRate must be positive, got %g", c.ViewRate)
+	case bad(c.Theta):
+		return fmt.Errorf("catalog: Theta %g must be finite", c.Theta)
 	}
 	return nil
 }
@@ -92,20 +95,23 @@ func FromVideos(videos []Video, viewRate float64) (*Catalog, error) {
 	if len(videos) == 0 {
 		return nil, fmt.Errorf("catalog: no videos")
 	}
-	if viewRate <= 0 {
+	if viewRate <= 0 || math.IsNaN(viewRate) || math.IsInf(viewRate, 0) {
 		return nil, fmt.Errorf("catalog: ViewRate must be positive, got %g", viewRate)
 	}
 	own := make([]Video, len(videos))
 	weights := make([]float64, len(videos))
 	totalProb, totalSize := 0.0, 0.0
 	for i, v := range videos {
-		if v.Length <= 0 {
+		if v.Length <= 0 || math.IsNaN(v.Length) || math.IsInf(v.Length, 0) {
 			return nil, fmt.Errorf("catalog: video %d has length %g", i, v.Length)
 		}
 		if v.Prob < 0 || math.IsNaN(v.Prob) || math.IsInf(v.Prob, 0) {
 			return nil, fmt.Errorf("catalog: video %d has probability %g", i, v.Prob)
 		}
 		own[i] = Video{ID: i, Length: v.Length, Size: v.Length * viewRate, Prob: v.Prob}
+		if math.IsInf(own[i].Size, 0) {
+			return nil, fmt.Errorf("catalog: video %d size overflows (length %g × rate %g)", i, v.Length, viewRate)
+		}
 		weights[i] = v.Prob
 		totalProb += v.Prob
 		totalSize += own[i].Size

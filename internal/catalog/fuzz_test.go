@@ -1,0 +1,98 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"semicont/internal/rng"
+)
+
+// FuzzCatalog throws arbitrary configurations at Generate: it must
+// either return an error or a catalog satisfying every documented
+// invariant — never panic. Extreme-but-finite inputs (huge θ, denormal
+// lengths) must surface as errors from the Zipf or alias layers, not as
+// NaNs inside a "successful" catalog.
+func FuzzCatalog(f *testing.F) {
+	f.Add(100, 600.0, 1800.0, 3.0, 0.271, uint64(1))
+	f.Add(1, 60.0, 60.0, 1.5, 1.0, uint64(2))
+	f.Add(50, 300.0, 900.0, 3.0, -1.5, uint64(3))
+	f.Fuzz(func(t *testing.T, n int, minLen, maxLen, viewRate, theta float64, seed uint64) {
+		if n > 4096 {
+			n = n%4096 + 1 // keep generation cheap; small n finds the same bugs
+		}
+		cfg := Config{
+			NumVideos: n, MinLength: minLen, MaxLength: maxLen,
+			ViewRate: viewRate, Theta: theta,
+		}
+		cat, err := Generate(cfg, rng.New(seed))
+		if err != nil {
+			return
+		}
+		if cat.Len() != n {
+			t.Fatalf("Len = %d, want %d", cat.Len(), n)
+		}
+		sum := 0.0
+		for _, v := range cat.Videos() {
+			if v.Length < minLen || v.Length > maxLen {
+				t.Fatalf("video %d length %g outside [%g, %g]", v.ID, v.Length, minLen, maxLen)
+			}
+			if v.Prob < 0 || v.Prob > 1 || math.IsNaN(v.Prob) {
+				t.Fatalf("video %d probability %g", v.ID, v.Prob)
+			}
+			if v.Size < 0 || math.IsNaN(v.Size) || math.IsInf(v.Size, 0) {
+				t.Fatalf("video %d size %g", v.ID, v.Size)
+			}
+			sum += v.Prob
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+		if a := cat.AvgSize(); math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+			t.Fatalf("AvgSize = %g", a)
+		}
+		if e := cat.ExpectedSize(); math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Fatalf("ExpectedSize = %g", e)
+		}
+		p := rng.New(seed + 1)
+		for i := 0; i < 16; i++ {
+			if id := cat.Sample(p); id < 0 || id >= n {
+				t.Fatalf("Sample returned %d with %d videos", id, n)
+			}
+		}
+	})
+}
+
+// FuzzFromVideos covers the hand-built catalog path: arbitrary lengths
+// and raw (unnormalized) probabilities for a three-video library. The
+// normalization must yield a proper distribution or an error — notably
+// when the raw probabilities overflow their sum to +Inf.
+func FuzzFromVideos(f *testing.F) {
+	f.Add(300.0, 0.5, 600.0, 0.3, 900.0, 0.2, 3.0)
+	f.Add(60.0, 1.0, 60.0, 0.0, 60.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, l1, p1, l2, p2, l3, p3, viewRate float64) {
+		cat, err := FromVideos([]Video{
+			{Length: l1, Prob: p1},
+			{Length: l2, Prob: p2},
+			{Length: l3, Prob: p3},
+		}, viewRate)
+		if err != nil {
+			return
+		}
+		sum := 0.0
+		for _, v := range cat.Videos() {
+			if v.Prob < 0 || v.Prob > 1 || math.IsNaN(v.Prob) {
+				t.Fatalf("video %d probability %g", v.ID, v.Prob)
+			}
+			sum += v.Prob
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+		p := rng.New(1)
+		for i := 0; i < 16; i++ {
+			if id := cat.Sample(p); id < 0 || id >= cat.Len() {
+				t.Fatalf("Sample returned %d", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package core
+
+// Audit taps: fine-grained engine instrumentation consumed by the
+// internal/audit invariant auditor. The engine stays oblivious to what
+// is checked — it only reports what it did, at the moments transient
+// scheduler decisions (EFTF feed order, migration chains, intermittent
+// pausing, replica installs) are visible. The auditor package cannot be
+// imported from here (it imports core), so the contract lives on this
+// side of the boundary.
+//
+// All slices handed to tap methods are reused scratch buffers: a tap
+// must copy anything it wants to retain past the call.
+
+// AuditEventKind identifies the engine event being audited.
+type AuditEventKind uint8
+
+// The engine's event kinds, as exposed to audit taps.
+const (
+	AuditArrival AuditEventKind = iota
+	AuditWake
+	AuditFailure
+	AuditPause
+	AuditResume
+)
+
+// String implements fmt.Stringer.
+func (k AuditEventKind) String() string {
+	switch k {
+	case AuditArrival:
+		return "arrival"
+	case AuditWake:
+		return "wake"
+	case AuditFailure:
+		return "failure"
+	case AuditPause:
+		return "pause"
+	case AuditResume:
+		return "resume"
+	default:
+		return "unknown"
+	}
+}
+
+// AuditRequestState is one in-flight request as seen by the auditor.
+// Fluid quantities are valid as of SyncedAt (each request's own last
+// sync instant, exactly what the engine's decisions were based on).
+type AuditRequestState struct {
+	ID       int64
+	Video    int32
+	Rate     float64 // current allocation, Mb/s
+	Sent     float64 // Mb transmitted as of SyncedAt
+	Size     float64 // Mb
+	Buffer   float64 // raw sent − viewed (may be negative under intermittent)
+	BufCap   float64 // client staging buffer, Mb (0 = none)
+	RecvCap  float64 // client receive cap, Mb/s (0 = unlimited)
+	Hops     int32   // lifetime migrations
+	Taps     int32   // dependent patch streams
+	SyncedAt float64
+
+	Suspended  bool // mid-switch blackout
+	PausedView bool // viewer has paused playback
+	IsPatch    bool // unicast prefix patch stream
+	Glitched   bool // buffer ran dry under the intermittent scheduler
+}
+
+// Finished reports whether transmission is complete.
+func (r AuditRequestState) Finished() bool { return r.Size-r.Sent <= dataEps }
+
+// AuditCopyState is one in-flight replica transfer on its source server.
+type AuditCopyState struct {
+	Video  int32
+	Target int32
+	Rate   float64
+	Sent   float64
+	Size   float64
+}
+
+// AuditServerState is one server's full transmission state.
+type AuditServerState struct {
+	ID        int32
+	Bandwidth float64
+	Slots     int
+	Failed    bool
+	Requests  []AuditRequestState
+	Copies    []AuditCopyState
+}
+
+// AuditEventRecord is the cluster state snapshot delivered after every
+// processed engine event.
+type AuditEventRecord struct {
+	Seq     uint64  // 1-based event sequence number
+	Time    float64 // simulation time of the event
+	Kind    AuditEventKind
+	Server  int32 // event's target server, −1 when not applicable
+	Request int64 // event's target request, 0 when not applicable
+	Servers []AuditServerState
+}
+
+// SpareGrant records one candidate considered by the workahead
+// spreader, in feed order: the order the discipline fed spare bandwidth.
+type SpareGrant struct {
+	Request    int64
+	Remaining  float64 // untransmitted volume when considered, Mb
+	RateBefore float64 // allocation before the grant, Mb/s
+	Extra      float64 // spare bandwidth granted, Mb/s (0 = none left or saturated)
+	RecvCap    float64 // client receive cap (0 = unlimited)
+}
+
+// IntermittentGrant records one stream considered by the intermittent
+// allocator, in feed (ascending-buffer) order.
+type IntermittentGrant struct {
+	Request    int64
+	Buffer     float64 // clamped client buffer when considered, Mb
+	Rate       float64 // assigned rate (b_view or 0)
+	PausedFull bool    // viewer paused with a full buffer (exempt from feeding)
+}
+
+// AuditBegin describes the simulation an auditor attaches to, delivered
+// once before the first event.
+type AuditBegin struct {
+	Config    Config
+	NumVideos int
+	// Holders lists the initial replica holders per video (the static
+	// placement). Aliased engine state: do not modify.
+	Holders [][]int32
+	// StaticStorage is each server's storage consumed by the static
+	// placement, in Mb.
+	StaticStorage []float64
+}
+
+// AuditTap receives engine taps. Any method returning a non-nil error
+// aborts the run: the engine stops stepping and Run returns the error.
+type AuditTap interface {
+	// Begin is called once from Start with the simulation's shape.
+	Begin(b AuditBegin) error
+	// BeginEvent is called before an event is processed, establishing
+	// the context (seq, time, kind, target) for the in-event taps below.
+	BeginEvent(seq uint64, t float64, kind AuditEventKind, server int32, req int64) error
+	// Event is called after the event is fully processed, with the
+	// complete cluster state.
+	Event(rec AuditEventRecord) error
+	// SpareOrder reports every sequential workahead feed pass (EFTF and
+	// LFTF; the even-split water-filling pass has no feed order): the
+	// candidates in the order the discipline fed them, with the granted
+	// extras.
+	SpareOrder(t float64, server int32, discipline SpareDiscipline, grants []SpareGrant) error
+	// IntermittentOrder reports every intermittent allocation pass.
+	IntermittentOrder(t float64, server int32, grants []IntermittentGrant) error
+	// Migration reports one executed request move. hops is the
+	// request's lifetime count after this move.
+	Migration(t float64, req int64, video int32, from, to int32, hops int32, rescue bool) error
+	// Chain reports the length of an executed DRM admission chain.
+	Chain(t float64, length int) error
+	// Replication reports a completed replica install.
+	Replication(t float64, video, from, to int32, size float64) error
+	// End is called once after the event list drains, with the final
+	// metrics.
+	End(t float64, m Metrics) error
+}
+
+// SetAuditTap installs an audit tap (may be nil). Call before Start.
+func (e *Engine) SetAuditTap(tap AuditTap) { e.audit = tap }
+
+// AuditErr returns the first audit violation raised so far (nil when
+// clean). Step-based drivers consult it after Step returns false; Run
+// surfaces it as its error.
+func (e *Engine) AuditErr() error { return e.auditErr }
+
+// DebugForceSpareMisorder inverts the EFTF feed order while still
+// reporting the configured discipline to audit taps. It exists solely so
+// tests outside this package can prove the auditor detects ordering
+// violations; never enable it otherwise.
+func (e *Engine) DebugForceSpareMisorder(on bool) { e.spareMisorder = on }
+
+// auditFail records the first tap error; the engine aborts at the next
+// Step boundary.
+func (e *Engine) auditFail(err error) {
+	if err != nil && e.auditErr == nil {
+		e.auditErr = err
+	}
+}
+
+// auditBegin delivers the Begin tap from Start.
+func (e *Engine) auditBegin() {
+	holders := make([][]int32, e.cat.Len())
+	for v := range holders {
+		holders[v] = e.layout.Holders(v)
+	}
+	static := make([]float64, len(e.servers))
+	for i := range static {
+		static[i] = e.layout.Used(i)
+	}
+	e.auditFail(e.audit.Begin(AuditBegin{
+		Config:        e.cfg,
+		NumVideos:     e.cat.Len(),
+		Holders:       holders,
+		StaticStorage: static,
+	}))
+}
+
+// auditKind maps an internal event to its audited kind and target ids.
+func auditKind(ev event) (kind AuditEventKind, server int32, req int64) {
+	switch ev.kind {
+	case evArrival:
+		return AuditArrival, -1, 0
+	case evServerWake:
+		return AuditWake, ev.server, 0
+	case evFailure:
+		return AuditFailure, ev.server, 0
+	case evPause:
+		return AuditPause, -1, ev.req
+	case evResume:
+		return AuditResume, -1, ev.req
+	default:
+		return AuditWake, -1, 0
+	}
+}
+
+// auditRecord fills the reusable snapshot buffers with the full cluster
+// state. Fluid quantities are reported as of each request's own sync
+// time, mirroring what checkInvariants reads.
+func (e *Engine) auditRecord(kind AuditEventKind, server int32, req int64) AuditEventRecord {
+	if e.auditServers == nil {
+		e.auditServers = make([]AuditServerState, len(e.servers))
+	}
+	bview := e.cfg.ViewRate
+	for i, s := range e.servers {
+		st := &e.auditServers[i]
+		st.ID = s.id
+		st.Bandwidth = s.bandwidth
+		st.Slots = s.slots
+		st.Failed = s.failed
+		st.Requests = st.Requests[:0]
+		for _, r := range s.active {
+			st.Requests = append(st.Requests, AuditRequestState{
+				ID:         r.id,
+				Video:      r.video,
+				Rate:       r.rate,
+				Sent:       r.sent,
+				Size:       r.size,
+				Buffer:     r.sent - r.viewedAt(r.last, bview),
+				BufCap:     r.bufCap,
+				RecvCap:    r.recvCap,
+				Hops:       r.hops,
+				Taps:       r.taps,
+				SyncedAt:   r.last,
+				Suspended:  r.suspended(r.last),
+				PausedView: r.pausedView,
+				IsPatch:    r.isPatch,
+				Glitched:   r.glitched,
+			})
+		}
+		st.Copies = st.Copies[:0]
+		for _, c := range s.copies {
+			st.Copies = append(st.Copies, AuditCopyState{
+				Video: c.video, Target: c.target,
+				Rate: c.rate, Sent: c.sent, Size: c.size,
+			})
+		}
+	}
+	return AuditEventRecord{
+		Seq:     e.auditSeq,
+		Time:    e.now,
+		Kind:    kind,
+		Server:  server,
+		Request: req,
+		Servers: e.auditServers,
+	}
+}

@@ -158,28 +158,45 @@ func (e *Engine) spreadSpare(s *server, t float64, avail float64) {
 		sort.Slice(cand, func(i, j int) bool {
 			ri, rj := cand[i].remaining(), cand[j].remaining()
 			if ri != rj {
+				if e.spareMisorder {
+					return ri > rj // test-only sabotage (DebugForceSpareMisorder)
+				}
 				return ri < rj
 			}
 			return cand[i].id < cand[j].id
 		})
 	}
+	auditing := e.audit != nil
+	grants := e.spareGrantBuf[:0]
 	for _, r := range cand {
-		if avail <= dataEps {
-			break
+		var extra float64
+		if avail > dataEps {
+			headroom := math.Inf(1)
+			if r.recvCap > 0 {
+				headroom = r.recvCap - r.rate
+			}
+			extra = headroom
+			if extra > avail {
+				extra = avail
+			}
+			if extra < 0 {
+				extra = 0 // this client is saturated; try the next
+			}
 		}
-		headroom := math.Inf(1)
-		if r.recvCap > 0 {
-			headroom = r.recvCap - r.rate
+		if auditing {
+			grants = append(grants, SpareGrant{
+				Request: r.id, Remaining: r.remaining(),
+				RateBefore: r.rate, Extra: extra, RecvCap: r.recvCap,
+			})
 		}
-		extra := headroom
-		if extra > avail {
-			extra = avail
+		if extra > 0 {
+			r.rate += extra
+			avail -= extra
 		}
-		if extra <= 0 {
-			continue // this client is saturated; try the next
-		}
-		r.rate += extra
-		avail -= extra
+	}
+	if auditing {
+		e.spareGrantBuf = grants
+		e.auditFail(e.audit.SpareOrder(t, s.id, e.cfg.Spare, grants))
 	}
 	e.candBuf = cand
 }

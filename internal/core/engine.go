@@ -69,6 +69,17 @@ type Engine struct {
 	extraUsed    []float64
 	copying      map[int32]bool
 
+	// Audit instrumentation (nil when no auditor is attached): the tap,
+	// the first violation raised, the event sequence counter, and the
+	// reusable snapshot/grant buffers.
+	audit            AuditTap
+	auditErr         error
+	auditSeq         uint64
+	auditServers     []AuditServerState
+	spareGrantBuf    []SpareGrant
+	intermitGrantBuf []IntermittentGrant
+	spareMisorder    bool
+
 	// Scratch buffers reused across events to keep the hot path
 	// allocation-free.
 	candBuf    []*request
@@ -144,12 +155,19 @@ func (e *Engine) ScheduleFailure(t float64, id int) error {
 }
 
 // Run processes arrivals with times in [0, horizon) and then drains all
-// in-flight transmissions. It returns the accumulated metrics.
+// in-flight transmissions. It returns the accumulated metrics, or the
+// first audit violation when an attached auditor rejects the run.
 func (e *Engine) Run(horizon float64) (*Metrics, error) {
 	if err := e.Start(horizon); err != nil {
 		return nil, err
 	}
 	for e.Step() {
+	}
+	if e.audit != nil && e.auditErr == nil {
+		e.auditFail(e.audit.End(e.now, e.metrics))
+	}
+	if e.auditErr != nil {
+		return nil, e.auditErr
 	}
 	return &e.metrics, nil
 }
@@ -162,6 +180,12 @@ func (e *Engine) Start(horizon float64) error {
 		return fmt.Errorf("core: horizon must be positive, got %g", horizon)
 	}
 	e.horizon = horizon
+	if e.audit != nil {
+		e.auditBegin()
+		if e.auditErr != nil {
+			return e.auditErr
+		}
+	}
 	e.primeArrival()
 	return nil
 }
@@ -178,7 +202,8 @@ func (e *Engine) primeArrival() {
 }
 
 // Step processes a single event. It returns false when the event list
-// is exhausted (the run is complete).
+// is exhausted (the run is complete) or an attached auditor raised a
+// violation (consult AuditErr).
 func (e *Engine) Step() bool {
 	t, ev, ok := e.events.Pop()
 	if !ok {
@@ -186,6 +211,17 @@ func (e *Engine) Step() bool {
 	}
 	if t > e.now {
 		e.now = t
+	}
+	var akind AuditEventKind
+	var aserver int32
+	var areq int64
+	if e.audit != nil {
+		if e.auditErr != nil {
+			return false
+		}
+		akind, aserver, areq = auditKind(ev)
+		e.auditSeq++
+		e.auditFail(e.audit.BeginEvent(e.auditSeq, e.now, akind, aserver, areq))
 	}
 	switch ev.kind {
 	case evArrival:
@@ -201,6 +237,14 @@ func (e *Engine) Step() bool {
 	}
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
+	}
+	if e.audit != nil {
+		if e.auditErr == nil {
+			e.auditFail(e.audit.Event(e.auditRecord(akind, aserver, areq)))
+		}
+		if e.auditErr != nil {
+			return false
+		}
 	}
 	return true
 }
@@ -376,6 +420,9 @@ func (e *Engine) handleFailure(s *server, t float64) {
 		rescued++
 		if e.obs != nil {
 			e.obs.OnMigrate(t, r.id, int(r.video), int(s.id), int(target.id), true)
+		}
+		if e.audit != nil {
+			e.auditFail(e.audit.Migration(t, r.id, r.video, s.id, target.id, r.hops, true))
 		}
 		e.reschedule(target, t)
 	}

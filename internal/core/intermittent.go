@@ -54,24 +54,36 @@ func (e *Engine) allocateIntermittent(s *server, t float64) {
 		}
 		return order[i].id < order[j].id
 	})
+	auditing := e.audit != nil
+	grants := e.intermitGrantBuf[:0]
 	avail := s.bandwidth
 	for _, r := range order {
-		if e.pausedAndFull(r, t) {
+		pausedFull := e.pausedAndFull(r, t)
+		switch {
+		case pausedFull:
 			r.rate = 0
-			continue
-		}
-		if avail >= bview-dataEps {
+		case avail >= bview-dataEps:
 			r.rate = bview
 			avail -= bview
-			continue
+		default:
+			r.rate = 0
+			// A stream paused with a dry buffer cannot keep playing: the
+			// heuristic has over-admitted. Record the glitch once.
+			if !r.glitched && r.bufferAt(t, bview) <= dataEps && !r.finished() {
+				r.glitched = true
+				e.metrics.GlitchedStreams++
+			}
 		}
-		r.rate = 0
-		// A stream paused with a dry buffer cannot keep playing: the
-		// heuristic has over-admitted. Record the glitch once.
-		if !r.glitched && r.bufferAt(t, bview) <= dataEps && !r.finished() {
-			r.glitched = true
-			e.metrics.GlitchedStreams++
+		if auditing {
+			grants = append(grants, IntermittentGrant{
+				Request: r.id, Buffer: r.bufferAt(t, bview),
+				Rate: r.rate, PausedFull: pausedFull,
+			})
 		}
+	}
+	if auditing {
+		e.intermitGrantBuf = grants
+		e.auditFail(e.audit.IntermittentOrder(t, s.id, grants))
 	}
 	e.candBuf = order
 	avail = e.allocateCopies(s, avail)

@@ -147,6 +147,9 @@ func (e *Engine) admitViaMigration(v int32, now float64) (*server, bool) {
 				continue
 			}
 			e.executeMoves(plan, now, false)
+			if e.audit != nil {
+				e.auditFail(e.audit.Chain(now, len(plan)))
+			}
 			e.metrics.AdmissionsViaDRM++
 			e.metrics.ChainLengthTotal += int64(len(plan))
 			if len(plan) > e.metrics.MaxChainUsed {
@@ -188,6 +191,9 @@ func (e *Engine) executeMoves(plan []move, now float64, rescue bool) {
 		e.metrics.Migrations++
 		if e.obs != nil {
 			e.obs.OnMigrate(now, m.r.id, int(m.r.video), int(from.id), int(m.to.id), rescue)
+		}
+		if e.audit != nil {
+			e.auditFail(e.audit.Migration(now, m.r.id, m.r.video, from.id, m.to.id, m.r.hops, rescue))
 		}
 	}
 	for _, s := range touched {

@@ -195,6 +195,9 @@ func (e *Engine) finishCopy(s *server, c *copyJob, t float64) {
 	if e.obs != nil {
 		e.obs.OnReplicate(t, int(c.video), int(c.source), int(c.target))
 	}
+	if e.audit != nil {
+		e.auditFail(e.audit.Replication(t, c.video, c.source, c.target, c.size))
+	}
 }
 
 // abortCopies cancels every copy job sourced from or targeting a failed

@@ -121,6 +121,38 @@ func TestStagingNeverHurtsUtilization(t *testing.T) {
 	}
 }
 
+// TestDisablingStagingNeverDecreasesRejections is the metamorphic twin
+// of TestStagingNeverHurtsUtilization: on the identical arrival stream,
+// taking staging away can only reject more requests (or the same
+// number), never fewer. Phrasing the property in terms of rejections
+// catches a different failure mode — an engine that inflated Accepted
+// while also inflating Arrivals would pass the acceptance check but
+// fail this one.
+func TestDisablingStagingNeverDecreasesRejections(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		staged, _ := buildRandomSim(t, seed, true, false)
+		bare, _ := buildRandomSim(t, seed, false, false)
+		ms, err := staged.Run(2 * 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := bare.Run(2 * 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mb.Arrivals != ms.Arrivals {
+			t.Fatalf("seed %d: workloads diverged (%d vs %d arrivals)", seed, mb.Arrivals, ms.Arrivals)
+		}
+		// Same slack rationale as the acceptance-side test: the property
+		// holds in expectation, not per sample path.
+		slack := int64(float64(mb.Arrivals) * 0.01)
+		if mb.Rejected < ms.Rejected-slack {
+			t.Errorf("seed %d: disabling staging decreased rejections %d → %d",
+				seed, ms.Rejected, mb.Rejected)
+		}
+	}
+}
+
 // TestMigrationNeverHurtsAcceptance mirrors the DRM claim.
 func TestMigrationNeverHurtsAcceptance(t *testing.T) {
 	for seed := uint64(1); seed <= 12; seed++ {

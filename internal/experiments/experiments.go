@@ -29,6 +29,10 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed data
 	// point — long sweeps report where they are.
 	Progress func(format string, args ...any)
+	// Audit attaches the invariant auditor to every scenario run (see
+	// Scenario.Audit). The registry test runs the whole suite with it
+	// on; any violation fails the experiment with a structured error.
+	Audit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +105,7 @@ func metricCurve(name string, xs []float64, opts Options, make func(x float64) s
 		sc := make(x)
 		sc.HorizonHours = opts.HorizonHours
 		sc.Seed = opts.Seed
+		sc.Audit = opts.Audit
 		agg, err := semicont.RunTrials(sc, opts.Trials)
 		if err != nil {
 			return stats.Series{}, fmt.Errorf("experiments: %s at x=%g: %w", name, x, err)

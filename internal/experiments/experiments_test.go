@@ -331,6 +331,7 @@ func TestRegistryRunsEndToEnd(t *testing.T) {
 		Trials:       1,
 		Seed:         1,
 		Thetas:       []float64{0},
+		Audit:        true, // every experiment must survive the invariant auditor
 	}
 	for _, e := range Registry() {
 		out, err := e.Run(opts)

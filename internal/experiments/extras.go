@@ -295,6 +295,7 @@ func Failover(sys semicont.System, opts Options) (*Output, error) {
 				Seed:        opts.Seed + uint64(trial)*7919,
 				FailServer:  0,
 				FailAtHours: opts.HorizonHours / 2,
+				Audit:       opts.Audit,
 			}
 			res, err := semicont.Run(sc)
 			if err != nil {

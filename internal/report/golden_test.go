@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semicont/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update. Byte-exact comparison is the point: the renderers feed both
+// terminals and CSV consumers, so column alignment, separators, and
+// float formatting are all part of the contract.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// fixedSeries returns two deterministic curves sharing an x grid,
+// including values that exercise the formatting edge cases: zero CI,
+// negative means, and x values with differing precision.
+func fixedSeries() []stats.Series {
+	return []stats.Series{
+		{Name: "no migration", Points: []stats.Point{
+			{X: -1.5, Mean: 0.7312, CI95: 0.0123},
+			{X: 0, Mean: 0.85, CI95: 0},
+			{X: 0.75, Mean: 0.9001, CI95: 0.0009},
+		}},
+		{Name: "hops=1", Points: []stats.Point{
+			{X: -1.5, Mean: 0.9123, CI95: 0.0456},
+			{X: 0, Mean: 0.95, CI95: 0.002},
+			{X: 0.75, Mean: -0.25, CI95: 0.1},
+		}},
+	}
+}
+
+func TestTableWriteGolden(t *testing.T) {
+	tbl := &Table{
+		Title:   "Cluster parameters",
+		Headers: []string{"Parameter", "Small", "Large"},
+	}
+	tbl.AddRow("Number of Servers", "5", "20")
+	tbl.AddRow("Server Bandwidth (Mb/s)", "100", "1000")
+	tbl.AddRow("Video Length", "10-30 min", "1-2 hr")
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table.golden", buf.Bytes())
+}
+
+func TestSeriesTableGolden(t *testing.T) {
+	tbl, err := SeriesTable("Figure 4: effect of DRM", "theta", fixedSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "series_table.golden", buf.Bytes())
+}
+
+func TestWriteSeriesCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, "theta", fixedSeries()); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "series.csv.golden", buf.Bytes())
+}

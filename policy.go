@@ -204,25 +204,37 @@ func (p Policy) Validate() error {
 	switch {
 	case p.Placement < EvenPlacement || p.Placement > PartialPredictivePlacement:
 		return fmt.Errorf("semicont: unknown placement %d", int(p.Placement))
-	case p.StagingFrac < 0:
+	case !finite(p.StagingFrac) || p.StagingFrac < 0:
 		return fmt.Errorf("semicont: negative StagingFrac %g", p.StagingFrac)
-	case p.SwitchDelay < 0:
+	case p.Placement == PartialPredictivePlacement &&
+		(!finite(p.PartialTopFraction) || p.PartialTopFraction < 0 || p.PartialTopFraction > 1):
+		return fmt.Errorf("semicont: PartialTopFraction %g outside [0,1]", p.PartialTopFraction)
+	case p.Placement == PartialPredictivePlacement && p.PartialExtra < 0:
+		return fmt.Errorf("semicont: negative PartialExtra %d", p.PartialExtra)
+	case !finite(p.SwitchDelay) || p.SwitchDelay < 0:
 		return fmt.Errorf("semicont: negative SwitchDelay %g", p.SwitchDelay)
 	case p.Migration && p.MaxHops < UnlimitedHops:
 		return fmt.Errorf("semicont: MaxHops %d (use UnlimitedHops=-1)", p.MaxHops)
 	case p.Migration && p.MaxChain < 0:
 		return fmt.Errorf("semicont: negative MaxChain %d", p.MaxChain)
-	case p.ResumeGuard < 0:
+	case !finite(p.ReceiveCap):
+		return fmt.Errorf("semicont: ReceiveCap %g must be finite", p.ReceiveCap)
+	case !finite(p.ResumeGuard) || p.ResumeGuard < 0:
 		return fmt.Errorf("semicont: negative ResumeGuard %g", p.ResumeGuard)
-	case p.ReplicationRate < 0:
+	case !finite(p.ReplicationRate) || p.ReplicationRate < 0:
 		return fmt.Errorf("semicont: negative ReplicationRate %g", p.ReplicationRate)
 	case p.Spare < EFTFSpare || p.Spare > EvenSplitSpare:
 		return fmt.Errorf("semicont: unknown spare discipline %d", int(p.Spare))
-	case p.PatchWindowSec < 0:
+	case !finite(p.PatchWindowSec) || p.PatchWindowSec < 0:
 		return fmt.Errorf("semicont: negative PatchWindowSec %g", p.PatchWindowSec)
-	case p.PauseProb < 0 || p.PauseProb > 1:
+	case p.PatchWindowSec > 0 && p.Intermittent:
+		return fmt.Errorf("semicont: patching is incompatible with intermittent scheduling")
+	case !finite(p.PauseProb) || p.PauseProb < 0 || p.PauseProb > 1:
 		return fmt.Errorf("semicont: PauseProb %g outside [0,1]", p.PauseProb)
-	case p.PauseProb > 0 && (p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
+	case p.PatchWindowSec > 0 && p.PauseProb > 0:
+		return fmt.Errorf("semicont: patching is incompatible with viewer interactivity")
+	case p.PauseProb > 0 && (!finite(p.MinPauseSec) || !finite(p.MaxPauseSec) ||
+		p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
 		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
 	}
 	if p.Intermittent && p.StagingFrac == 0 && len(p.ClientMix) == 0 {
@@ -230,7 +242,8 @@ func (p Policy) Validate() error {
 	}
 	total := 0.0
 	for i, c := range p.ClientMix {
-		if c.Weight < 0 || c.StagingFrac < 0 || c.ReceiveCap < 0 {
+		if !finite(c.Weight) || !finite(c.StagingFrac) || !finite(c.ReceiveCap) ||
+			c.Weight < 0 || c.StagingFrac < 0 || c.ReceiveCap < 0 {
 			return fmt.Errorf("semicont: client class %d has negative fields: %+v", i, c)
 		}
 		total += c.Weight

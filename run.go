@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"semicont/internal/audit"
 	"semicont/internal/catalog"
 	"semicont/internal/core"
 	"semicont/internal/placement"
@@ -60,6 +61,16 @@ type Scenario struct {
 
 	// CheckInvariants enables per-event model assertions (slow; tests).
 	CheckInvariants bool
+
+	// Audit attaches the internal/audit invariant auditor: every engine
+	// event is checked against the model's conservation laws (bandwidth
+	// caps, the minimum-flow guarantee, client buffer bounds, EFTF feed
+	// order, DRM hop/chain budgets, replica and storage accounting). A
+	// violation aborts the run and Run returns it as a structured
+	// *audit.Violation error naming the event, server, and request.
+	// Slower than a bare run; tier-1 tests and the experiment registry
+	// tests keep it on.
+	Audit bool
 
 	// Observer, when non-nil, receives admission/migration/finish
 	// notifications (see internal/trace for a ready-made recorder).
@@ -131,6 +142,10 @@ type Result struct {
 	// PlacedCopies and PlacementShortfall record the realized layout.
 	PlacedCopies       int
 	PlacementShortfall int
+	// AuditedEvents is the number of engine events the invariant
+	// auditor checked (zero unless Scenario.Audit was set; the run
+	// would have failed had any violated an invariant).
+	AuditedEvents int64
 }
 
 // Validate reports scenario errors.
@@ -141,14 +156,29 @@ func (sc Scenario) Validate() error {
 	if err := sc.Policy.Validate(); err != nil {
 		return err
 	}
-	if sc.HorizonHours <= 0 {
+	if !finite(sc.Theta) {
+		return fmt.Errorf("semicont: Theta %g must be finite", sc.Theta)
+	}
+	if !finite(sc.HorizonHours) || sc.HorizonHours <= 0 {
 		return fmt.Errorf("semicont: HorizonHours must be positive, got %g", sc.HorizonHours)
 	}
-	if sc.LoadFactor < 0 {
+	if !finite(sc.LoadFactor) || sc.LoadFactor < 0 {
 		return fmt.Errorf("semicont: negative LoadFactor %g", sc.LoadFactor)
 	}
 	if sc.FailAtHours > 0 && (sc.FailServer < 0 || sc.FailServer >= sc.System.NumServers) {
 		return fmt.Errorf("semicont: FailServer %d outside cluster of %d", sc.FailServer, sc.System.NumServers)
+	}
+	// Cross-checks the engine would otherwise reject after Validate has
+	// passed: a validated scenario must build and run.
+	if sc.Policy.StagingFrac > 0 {
+		if rc := sc.Policy.receiveCap(); rc > 0 && rc < sc.System.ViewRate {
+			return fmt.Errorf("semicont: ReceiveCap %g below ViewRate %g", rc, sc.System.ViewRate)
+		}
+	}
+	for i, c := range sc.Policy.ClientMix {
+		if c.ReceiveCap > 0 && c.ReceiveCap < sc.System.ViewRate {
+			return fmt.Errorf("semicont: client class %d receive cap %g below view rate %g", i, c.ReceiveCap, sc.System.ViewRate)
+		}
 	}
 	return nil
 }
@@ -246,6 +276,11 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Observer != nil {
 		eng.SetObserver(observerAdapter{sc.Observer})
 	}
+	var auditor *audit.Auditor
+	if sc.Audit {
+		auditor = audit.New()
+		eng.SetAuditTap(auditor)
+	}
 	horizon := sc.HorizonHours * 3600
 	if sc.FailAtHours > 0 {
 		if err := eng.ScheduleFailure(sc.FailAtHours*3600, sc.FailServer); err != nil {
@@ -287,6 +322,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if m.AdmissionsViaDRM > 0 {
 		res.MeanChainLength = float64(m.ChainLengthTotal) / float64(m.AdmissionsViaDRM)
+	}
+	if auditor != nil {
+		res.AuditedEvents = int64(auditor.Events())
 	}
 	return res, nil
 }

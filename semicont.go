@@ -33,9 +33,16 @@ package semicont
 
 import (
 	"fmt"
+	"math"
 
 	"semicont/internal/units"
 )
+
+// finite reports whether v is an ordinary number. NaN and ±Inf slip
+// through ordered comparisons like v <= 0, so every Validate in this
+// package checks explicitly: a scenario that validates must build and
+// run (the fuzz targets enforce exactly that contract).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // System describes the hardware of a cluster (the rows of the paper's
 // Figure 3): how many servers, their bandwidth and storage, and the
@@ -171,18 +178,31 @@ func (s System) Validate() error {
 		return fmt.Errorf("semicont: %d bandwidths for %d servers", len(s.Bandwidths), s.NumServers)
 	case s.Capacities != nil && len(s.Capacities) != s.NumServers:
 		return fmt.Errorf("semicont: %d capacities for %d servers", len(s.Capacities), s.NumServers)
-	case s.Bandwidths == nil && s.ServerBandwidth <= 0:
+	case s.Bandwidths == nil && !(finite(s.ServerBandwidth) && s.ServerBandwidth > 0):
 		return fmt.Errorf("semicont: ServerBandwidth must be positive, got %g", s.ServerBandwidth)
-	case s.Capacities == nil && s.DiskCapacity <= 0:
+	case s.Capacities == nil && !(finite(s.DiskCapacity) && s.DiskCapacity > 0):
 		return fmt.Errorf("semicont: DiskCapacity must be positive, got %g", s.DiskCapacity)
 	case s.NumVideos <= 0:
 		return fmt.Errorf("semicont: NumVideos must be positive, got %d", s.NumVideos)
-	case s.MinVideoLength <= 0 || s.MaxVideoLength < s.MinVideoLength:
+	case !finite(s.MinVideoLength) || !finite(s.MaxVideoLength) ||
+		s.MinVideoLength <= 0 || s.MaxVideoLength < s.MinVideoLength:
 		return fmt.Errorf("semicont: invalid video length range [%g, %g]", s.MinVideoLength, s.MaxVideoLength)
-	case s.AvgCopies < 1:
+	case !finite(s.AvgCopies) || s.AvgCopies < 1:
 		return fmt.Errorf("semicont: AvgCopies %g < 1", s.AvgCopies)
-	case s.ViewRate <= 0:
+	case s.AvgCopies > float64(s.NumServers):
+		return fmt.Errorf("semicont: AvgCopies %g exceeds %d servers (one replica per server max)", s.AvgCopies, s.NumServers)
+	case !(finite(s.ViewRate) && s.ViewRate > 0):
 		return fmt.Errorf("semicont: ViewRate must be positive, got %g", s.ViewRate)
+	}
+	for i, b := range s.bandwidths() {
+		if !finite(b) || b < s.ViewRate {
+			return fmt.Errorf("semicont: server %d bandwidth %g below view rate %g", i, b, s.ViewRate)
+		}
+	}
+	for i, c := range s.capacities() {
+		if !(finite(c) && c > 0) {
+			return fmt.Errorf("semicont: server %d capacity %g must be positive", i, c)
+		}
 	}
 	return nil
 }
