@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"semicont"
 	"semicont/internal/experiments"
 	"semicont/internal/report"
 )
@@ -34,6 +35,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "base random seed")
 		outDir = flag.String("out", "", "directory for CSV output (empty: no CSV)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		listAl = flag.Bool("list-allocators", false, "list registered bandwidth allocators and exit")
 		verb   = flag.Bool("v", false, "print per-point progress")
 	)
 	flag.Parse()
@@ -41,6 +43,12 @@ func main() {
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *listAl {
+		for _, name := range semicont.AllocatorNames() {
+			fmt.Println(name)
 		}
 		return
 	}

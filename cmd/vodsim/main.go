@@ -31,6 +31,8 @@ func main() {
 		switchDel = flag.Float64("switch-delay", 0, "seconds of blackout per migration")
 		staging   = flag.Float64("staging", 0, "client buffer as fraction of average object size")
 		spare     = flag.String("spare", "eftf", "workahead discipline: eftf, lftf, even-split")
+		alloc     = flag.String("alloc", "", "bandwidth allocator by registry name (see -list-allocators; overrides -spare/-intermittent)")
+		listAlloc = flag.Bool("list-allocators", false, "list registered bandwidth allocators and exit")
 		intermit  = flag.Bool("intermittent", false, "intermittent scheduling (pause full-buffer streams; risks glitches)")
 		guard     = flag.Float64("resume-guard", 0, "intermittent resume guard, seconds (0 = 30s default)")
 		replicate = flag.Bool("replicate", false, "dynamic replication on rejection")
@@ -52,6 +54,13 @@ func main() {
 		auditOn   = flag.Bool("audit", false, "attach the invariant auditor: every event is checked against the model's conservation laws; a violation aborts the run with a structured error")
 	)
 	flag.Parse()
+
+	if *listAlloc {
+		for _, name := range semicont.AllocatorNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	sys, err := parseSystem(*system)
 	if err != nil {
@@ -103,6 +112,9 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown placement %q", *placement))
 		}
+	}
+	if *alloc != "" {
+		pol.Allocator = *alloc
 	}
 
 	sc := semicont.Scenario{

@@ -1,0 +1,182 @@
+package semicont
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// Golden equivalence fixtures: fixed-seed results for a scenario matrix
+// spanning staging on/off × DRM hops × intermittent × patching (plus
+// the extension mechanisms), captured from the pre-refactor allocation
+// layer. The engine contract is bit-identical determinism — same seeds,
+// same floats — so any allocator refactor must reproduce every field of
+// every Result below exactly. Regenerate (only when a deliberate
+// behavior change is made, with justification in the commit) with:
+//
+//	go test -run TestGoldenEquivalence -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_equiv.json from the current engine")
+
+const goldenEquivPath = "testdata/golden_equiv.json"
+
+// goldenHorizonHours keeps each matrix cell fast while still processing
+// tens of thousands of engine events.
+const goldenHorizonHours = 2
+
+// goldenMatrix returns the named scenario matrix. Every scenario uses
+// the small system and a fixed seed so results are bit-reproducible.
+func goldenMatrix() []struct {
+	Name string
+	Sc   Scenario
+} {
+	base := func(p Policy) Scenario {
+		return Scenario{
+			System:       SmallSystem(),
+			Policy:       p,
+			Theta:        0.271,
+			HorizonHours: goldenHorizonHours,
+			Seed:         7,
+		}
+	}
+	drm := func(p Policy, hops, chain int) Policy {
+		p.Migration, p.MaxHops, p.MaxChain = true, hops, chain
+		return p
+	}
+	var m []struct {
+		Name string
+		Sc   Scenario
+	}
+	add := func(name string, sc Scenario) {
+		m = append(m, struct {
+			Name string
+			Sc   Scenario
+		}{name, sc})
+	}
+
+	// Staging off/on and the three spare disciplines.
+	add("nostage", base(Policy{Name: "nostage"}))
+	add("stage-eftf", base(Policy{Name: "stage-eftf", StagingFrac: 0.2}))
+	add("stage-lftf", base(Policy{Name: "stage-lftf", StagingFrac: 0.2, Spare: LFTFSpare}))
+	add("stage-evensplit", base(Policy{Name: "stage-evensplit", StagingFrac: 0.2, Spare: EvenSplitSpare}))
+
+	// DRM hop/chain budgets, with and without staging.
+	add("drm-nostage", base(drm(Policy{Name: "drm-nostage"}, 1, 1)))
+	add("drm-hops1", base(drm(Policy{Name: "drm-hops1", StagingFrac: 0.2}, 1, 1)))
+	add("drm-unlimited-chain2", base(drm(Policy{Name: "drm-unlimited-chain2", StagingFrac: 0.2}, UnlimitedHops, 2)))
+	add("drm-switchdelay", base(drm(Policy{Name: "drm-switchdelay", StagingFrac: 0.2, SwitchDelay: 2}, UnlimitedHops, 1)))
+
+	// Intermittent scheduling (over-subscription + glitch accounting).
+	add("intermittent", base(drm(Policy{Name: "intermittent", StagingFrac: 0.2, Intermittent: true}, 1, 1)))
+	add("intermittent-guard10", base(Policy{Name: "intermittent-guard10", StagingFrac: 0.3, Intermittent: true, ResumeGuard: 10}))
+
+	// Patching (multicast taps pin streams; spare order interacts).
+	add("patching", base(Policy{Name: "patching", StagingFrac: 0.2, PatchWindowSec: 300}))
+	add("patching-drm", base(drm(Policy{Name: "patching-drm", StagingFrac: 0.2, PatchWindowSec: 600}, 1, 1)))
+
+	// Extension mechanisms layered over the allocator.
+	add("interactive", base(drm(Policy{Name: "interactive", StagingFrac: 0.2, PauseProb: 0.3, MinPauseSec: 30, MaxPauseSec: 300}, 1, 1)))
+	add("replicate", base(drm(Policy{Name: "replicate", StagingFrac: 0.2, Replicate: true}, 1, 1)))
+	add("clientmix", base(Policy{Name: "clientmix", ClientMix: []ClientClass{
+		{Weight: 1, StagingFrac: 0.3, ReceiveCap: 30},
+		{Weight: 2, StagingFrac: 0, ReceiveCap: 0},
+	}}))
+
+	// Failure rescue mid-run.
+	fail := base(drm(Policy{Name: "failover", StagingFrac: 0.2}, UnlimitedHops, 1))
+	fail.FailServer, fail.FailAtHours = 2, 1
+	add("failover", fail)
+
+	// Audited runs pin the instrumented allocation path (full feed-order
+	// reporting) to the same results as the bare one.
+	audited := base(PolicyP4())
+	audited.Audit = true
+	add("audited-p4", audited)
+	auditedInt := base(drm(Policy{Name: "audited-intermittent", StagingFrac: 0.2, Intermittent: true}, 1, 1))
+	auditedInt.Audit = true
+	add("audited-intermittent", auditedInt)
+
+	return m
+}
+
+// TestGoldenEquivalence runs the scenario matrix and demands that every
+// Result field matches the checked-in fixture bit-for-bit. JSON float
+// encoding uses the shortest round-trippable representation, so decoded
+// fixtures compare exactly with ==.
+func TestGoldenEquivalence(t *testing.T) {
+	matrix := goldenMatrix()
+
+	got := make(map[string]Result, len(matrix)+3)
+	for _, cell := range matrix {
+		res, err := Run(cell.Sc)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		got[cell.Name] = *res
+	}
+	// Multi-trial aggregation derives per-trial seeds; pin each trial.
+	agg, err := RunTrials(goldenMatrix()[5].Sc, 3) // drm-hops1
+	if err != nil {
+		t.Fatalf("trials: %v", err)
+	}
+	for i, r := range agg.Results {
+		got["drm-hops1-trial"+string(rune('0'+i))] = *r
+	}
+
+	if *updateGolden {
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ordered := make([]goldenEntry, 0, len(names))
+		for _, n := range names {
+			ordered = append(ordered, goldenEntry{Name: n, Result: got[n]})
+		}
+		data, err := json.MarshalIndent(ordered, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenEquivPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenEquivPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fixtures to %s", len(ordered), goldenEquivPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenEquivPath)
+	if err != nil {
+		t.Fatalf("read fixtures (run with -update-golden to create): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(want))
+	for _, w := range want {
+		seen[w.Name] = true
+		g, ok := got[w.Name]
+		if !ok {
+			t.Errorf("%s: fixture present but scenario missing from matrix", w.Name)
+			continue
+		}
+		if g != w.Result {
+			t.Errorf("%s: result diverged from pre-refactor fixture\n got %+v\nwant %+v", w.Name, g, w.Result)
+		}
+	}
+	for n := range got {
+		if !seen[n] {
+			t.Errorf("%s: scenario has no fixture (run -update-golden)", n)
+		}
+	}
+}
+
+type goldenEntry struct {
+	Name   string
+	Result Result
+}

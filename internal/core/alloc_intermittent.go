@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // Intermittent scheduling (Section 3.3). The paper restricts itself to
 // minimum-flow algorithms because "the decision procedure for the
 // optimal intermittent algorithm is impractical to apply in real time";
@@ -24,14 +22,29 @@ import "sort"
 // the acceptance gain intermittent scheduling buys and the glitches it
 // costs, which is the paper's justification for minimum-flow.
 
-// allocateIntermittent assigns bandwidth in ascending-buffer order:
+// intermittentAllocator assigns bandwidth in ascending-buffer order:
 // urgent streams first, then the rest while bandwidth lasts; leftover
-// streams are paused. Spare bandwidth still stages ahead via EFTF.
+// streams are paused. Spare bandwidth still stages ahead under the
+// configured workahead discipline.
+type intermittentAllocator struct{}
+
+func init() {
+	RegisterAllocator(AllocIntermittent, func() BandwidthAllocator { return intermittentAllocator{} })
+}
+
+func (intermittentAllocator) Name() string { return AllocIntermittent }
+
+func (intermittentAllocator) Allocate(e *Engine, s *server, t float64) float64 {
+	e.allocateIntermittent(s, t)
+	return e.nextWake(s, t)
+}
+
+// allocateIntermittent runs the heuristic on server s at time t.
 // Requests must be synced to t.
 func (e *Engine) allocateIntermittent(s *server, t float64) {
 	bview := e.cfg.ViewRate
-	order := e.candBuf[:0]
-	for _, r := range s.active {
+	e.cand.Reset(false)
+	for i, r := range s.active {
 		if r.suspended(t) {
 			r.rate = 0
 			continue
@@ -45,19 +58,68 @@ func (e *Engine) allocateIntermittent(s *server, t float64) {
 			r.glitched = true
 			e.metrics.GlitchedStreams++
 		}
-		order = append(order, r)
+		e.cand.Add(r.bufferAt(t, bview), r.id, int32(i))
 	}
-	sort.Slice(order, func(i, j int) bool {
-		bi, bj := order[i].bufferAt(t, bview), order[j].bufferAt(t, bview)
-		if bi != bj {
-			return bi < bj
-		}
-		return order[i].id < order[j].id
-	})
-	auditing := e.audit != nil
-	grants := e.intermitGrantBuf[:0]
 	avail := s.bandwidth
-	for _, r := range order {
+	if e.audit != nil {
+		avail = e.intermittentAudited(s, t, avail)
+	} else {
+		// Ascending-buffer feed via heap selection. Once the bandwidth
+		// no longer covers a full b_view slot, nothing downstream can
+		// consume any (paused-full streams never do), so every remaining
+		// stream pauses — an order-free operation handled off-heap.
+		e.cand.Init()
+		for e.cand.Len() > 0 {
+			ent := e.cand.Pop()
+			r := s.active[ent.Pos]
+			if e.pausedAndFull(r, t) {
+				r.rate = 0
+				continue
+			}
+			if avail >= bview-dataEps {
+				r.rate = bview
+				avail -= bview
+				continue
+			}
+			e.pauseIntermittent(r, ent.Key)
+			for _, rest := range e.cand.Rest() {
+				rr := s.active[rest.Pos]
+				if e.pausedAndFull(rr, t) {
+					rr.rate = 0
+					continue
+				}
+				e.pauseIntermittent(rr, rest.Key)
+			}
+			break
+		}
+	}
+	avail = e.allocateCopies(s, avail)
+	if avail > dataEps {
+		e.spreadSpare(s, t, avail)
+	}
+}
+
+// pauseIntermittent pauses a stream the feed could not serve. buf is
+// the stream's buffer level at the current time. A stream paused with a
+// dry buffer cannot keep playing: the heuristic has over-admitted, so
+// the glitch is recorded once.
+func (e *Engine) pauseIntermittent(r *request, buf float64) {
+	r.rate = 0
+	if !r.glitched && buf <= dataEps && !r.finished() {
+		r.glitched = true
+		e.metrics.GlitchedStreams++
+	}
+}
+
+// intermittentAudited is the instrumented feed: the IntermittentOrder
+// tap reports every stream's grant in ascending-buffer order, which
+// requires the full sort the hot path avoids. It returns the bandwidth
+// left for copies and staging.
+func (e *Engine) intermittentAudited(s *server, t float64, avail float64) float64 {
+	bview := e.cfg.ViewRate
+	grants := e.intermitGrantBuf[:0]
+	for _, ent := range e.cand.Sort() {
+		r := s.active[ent.Pos]
 		pausedFull := e.pausedAndFull(r, t)
 		switch {
 		case pausedFull:
@@ -66,30 +128,16 @@ func (e *Engine) allocateIntermittent(s *server, t float64) {
 			r.rate = bview
 			avail -= bview
 		default:
-			r.rate = 0
-			// A stream paused with a dry buffer cannot keep playing: the
-			// heuristic has over-admitted. Record the glitch once.
-			if !r.glitched && r.bufferAt(t, bview) <= dataEps && !r.finished() {
-				r.glitched = true
-				e.metrics.GlitchedStreams++
-			}
+			e.pauseIntermittent(r, ent.Key)
 		}
-		if auditing {
-			grants = append(grants, IntermittentGrant{
-				Request: r.id, Buffer: r.bufferAt(t, bview),
-				Rate: r.rate, PausedFull: pausedFull,
-			})
-		}
+		grants = append(grants, IntermittentGrant{
+			Request: r.id, Buffer: ent.Key,
+			Rate: r.rate, PausedFull: pausedFull,
+		})
 	}
-	if auditing {
-		e.intermitGrantBuf = grants
-		e.auditFail(e.audit.IntermittentOrder(t, s.id, grants))
-	}
-	e.candBuf = order
-	avail = e.allocateCopies(s, avail)
-	if avail > dataEps {
-		e.spreadSpare(s, t, avail)
-	}
+	e.intermitGrantBuf = grants
+	e.auditFail(e.audit.IntermittentOrder(t, s.id, grants))
+	return avail
 }
 
 // canAccept is the admission test for one server: minimum-flow slot

@@ -1,0 +1,29 @@
+package core
+
+// Minimum-flow allocation (Sections 3.3 and Figure 2 of the paper):
+// every unfinished, non-suspended request is guaranteed at least the
+// view bandwidth b_view, so admitted playback can never glitch. The
+// three minimum-flow policies (EFTF, LFTF, even-split) share this pass
+// and differ only in how the leftover bandwidth is staged ahead — see
+// their files and spare.go.
+
+// minFlowRates assigns the minimum-flow guarantee on server s at time t
+// and returns the spare bandwidth left over. All requests in s.active
+// must be synced to t.
+func (e *Engine) minFlowRates(s *server, t float64) float64 {
+	avail := s.bandwidth
+	bview := e.cfg.ViewRate
+	for _, r := range s.active {
+		if r.suspended(t) || e.pausedAndFull(r, t) {
+			// Mid-switch streams receive nothing; a paused viewer with
+			// a full buffer has nowhere to put data, so the minimum-flow
+			// guarantee is moot until it resumes (an evResume event
+			// triggers reallocation).
+			r.rate = 0
+			continue
+		}
+		r.rate = bview
+		avail -= bview
+	}
+	return avail
+}

@@ -1,0 +1,21 @@
+package core
+
+// Benchmark entry points into the allocator. These tiny shims pin the
+// bench bodies to stable names across refactors of the allocation
+// layer, so BENCH_alloc.json baselines stay comparable.
+
+// benchBindAllocator resolves the engine's allocator the way NewEngine
+// would (a no-op before the allocator seam existed).
+func benchBindAllocator(e *Engine) { e.allocator() }
+
+// benchAllocateWake performs one allocation pass plus the next-wake
+// computation — the work reschedule does per event, minus the queue
+// push.
+func benchAllocateWake(e *Engine, s *server) {
+	e.allocator().Allocate(e, s, 0)
+}
+
+// benchSpreadSpare spreads the given spare over s's staging candidates.
+func benchSpreadSpare(e *Engine, s *server, avail float64) {
+	e.spreadSpare(s, 0, avail)
+}

@@ -1,12 +1,45 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"semicont/internal/simtime"
 )
 
-// Micro-benchmarks of the simulator's hot paths.
+// Micro-benchmarks of the simulator's hot paths. The allocator benches
+// are parameterized over the per-server active count k; BENCH_alloc.json
+// at the repo root holds the pre-refactor baseline these numbers are
+// compared against (see DESIGN.md, "Architecture layers").
+
+// benchKs are the per-server active counts the allocator benches sweep.
+var benchKs = []int{16, 256, 4096}
+
+// benchEngine builds a bare engine and one server carrying k active
+// requests with mixed progress. spareFrac of the minimum-flow demand is
+// left over as spare bandwidth, so the workahead spreader has work to
+// do but only feeds a small prefix of the candidates (the production
+// shape: a busy server with a sliver of spare).
+func benchEngine(k int, spareFrac float64, intermittent bool) (*Engine, *server) {
+	bview := 3.0
+	bw := bview * float64(k) * (1 + spareFrac)
+	cfg := Config{
+		ServerBandwidth: []float64{bw}, ViewRate: bview,
+		Workahead: true, ReceiveCap: 30, BufferCapacity: 20000,
+		Intermittent: intermittent,
+	}
+	e := &Engine{cfg: cfg}
+	benchBindAllocator(e)
+	s := mkServer(bw, bview)
+	for i := 0; i < k; i++ {
+		r := &request{
+			id: int64(i + 1), size: 16200, sent: float64(i*137%16000) + 1,
+			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
+		}
+		s.attach(r)
+	}
+	return e, s
+}
 
 func BenchmarkEventQueue(b *testing.B) {
 	var q simtime.Queue[event]
@@ -20,66 +53,83 @@ func BenchmarkEventQueue(b *testing.B) {
 	}
 }
 
-func BenchmarkEFTFAllocate(b *testing.B) {
-	cfg := Config{
-		ServerBandwidth: []float64{300}, ViewRate: 3,
-		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
-	}
-	e := &Engine{cfg: cfg}
-	s := mkServer(300, 3)
-	// A nearly full server: 90 of 100 slots busy, mixed progress.
-	for i := 0; i < 90; i++ {
-		r := &request{
-			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
-			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
-		}
-		s.attach(r)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.allocate(s, 0)
+// BenchmarkAllocate measures one full allocation pass of the min-flow +
+// EFTF policy, including the next-wake computation that every
+// reschedule performs.
+func BenchmarkAllocate(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0.1, false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchAllocateWake(e, s)
+			}
+		})
 	}
 }
 
-func BenchmarkEFTFAllocateSaturated(b *testing.B) {
-	// The common case under 100% offered load: zero spare bandwidth, so
-	// the candidate sort must be skipped entirely.
-	cfg := Config{
-		ServerBandwidth: []float64{300}, ViewRate: 3,
-		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
-	}
-	e := &Engine{cfg: cfg}
-	s := mkServer(300, 3)
-	for i := 0; i < 100; i++ {
-		r := &request{
-			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
-			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
-		}
-		s.attach(r)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.allocate(s, 0)
+// BenchmarkAllocateSaturated is the common case under 100% offered
+// load: zero spare bandwidth, so the candidate machinery must be
+// skipped entirely.
+func BenchmarkAllocateSaturated(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0, false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchAllocateWake(e, s)
+			}
+		})
 	}
 }
 
+// BenchmarkSpreadSpare isolates the workahead spreader: rates are reset
+// to the minimum flow each iteration, then the spare is spread in EFTF
+// order (plus the fused next-wake pass after the refactor).
+func BenchmarkSpreadSpare(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0.1, false)
+			spare := s.bandwidth - 3*float64(k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range s.active {
+					r.rate = 3
+				}
+				benchSpreadSpare(e, s, spare)
+			}
+		})
+	}
+}
+
+// BenchmarkNextWake measures the standalone next-wake scan over a
+// server with settled rates.
 func BenchmarkNextWake(b *testing.B) {
-	cfg := Config{
-		ServerBandwidth: []float64{300}, ViewRate: 3,
-		Workahead: true, ReceiveCap: 30, BufferCapacity: 3300,
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0.1, false)
+			benchAllocateWake(e, s)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.nextWake(s, 0)
+			}
+		})
 	}
-	e := &Engine{cfg: cfg}
-	s := mkServer(300, 3)
-	for i := 0; i < 90; i++ {
-		r := &request{
-			id: int64(i), size: 16200, sent: float64(i * 137 % 16000), last: 0,
-			bufCap: cfg.BufferCapacity, recvCap: cfg.ReceiveCap,
-		}
-		s.attach(r)
-	}
-	e.allocate(s, 0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.nextWake(s, 0)
+}
+
+// BenchmarkIntermittent measures one intermittent allocation pass
+// (ascending-buffer feed, then EFTF spread of the leftovers) including
+// the next-wake computation. The server is over-subscribed by ~10% so
+// the pause branch is exercised.
+func BenchmarkIntermittent(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0.1, true)
+			s.bandwidth = 3 * float64(k) * 0.9 // over-subscribed
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchAllocateWake(e, s)
+			}
+		})
 	}
 }

@@ -150,6 +150,13 @@ type Config struct {
 	// paper's algorithm; LFTF and EvenSplit are ablations).
 	Spare SpareDiscipline
 
+	// Allocator names the bandwidth-allocation policy from the registry
+	// (see RegisterAllocator). Empty selects the policy the Intermittent
+	// and Spare fields imply — the usual path. A built-in name must
+	// agree with those fields (Validate enforces it); a custom
+	// registered policy may be named freely.
+	Allocator string
+
 	// ClientClasses, when non-empty, makes the client population
 	// heterogeneous: each admitted request draws a class (seeded by
 	// ClientSeed) whose buffer and receive cap override BufferCapacity
@@ -280,6 +287,9 @@ func (c Config) Validate() error {
 	}
 	if c.Spare > EvenSplit {
 		return fmt.Errorf("core: unknown spare discipline %d", uint8(c.Spare))
+	}
+	if err := c.validateAllocator(); err != nil {
+		return err
 	}
 	if len(c.ServerStorage) > 0 && len(c.ServerStorage) != len(c.ServerBandwidth) {
 		return fmt.Errorf("core: %d storage capacities for %d servers", len(c.ServerStorage), len(c.ServerBandwidth))

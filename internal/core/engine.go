@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semicont/internal/catalog"
+	"semicont/internal/core/alloc"
 	"semicont/internal/placement"
 	"semicont/internal/rng"
 	"semicont/internal/simtime"
@@ -80,9 +81,17 @@ type Engine struct {
 	intermitGrantBuf []IntermittentGrant
 	spareMisorder    bool
 
-	// Scratch buffers reused across events to keep the hot path
-	// allocation-free.
-	candBuf    []*request
+	// Bandwidth-allocation policy, resolved from the registry by
+	// Config.AllocatorName (see allocator.go).
+	alloc BandwidthAllocator
+
+	// Scratch reused across events to keep the hot path allocation-free.
+	// cand is the per-server candidate index the allocators feed through;
+	// its entries are pointer-free positions into a server's active
+	// slice, so retaining it between events cannot pin finished requests
+	// against the garbage collector (the old []*request scratch did).
+	cand       alloc.Index
+	evenBuf    []alloc.Entry
 	touchedBuf []*server
 	visited    []bool
 	freeList   []*request

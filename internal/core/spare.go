@@ -1,0 +1,197 @@
+package core
+
+import "math"
+
+// Spare-bandwidth staging shared by the allocation policies: gathering
+// the staging candidates of a server into the engine's reusable index,
+// then feeding them in the discipline's order.
+//
+// The hot path never sorts. Feeding spare in (key, id) order only needs
+// the fed *prefix* of that order — once the spare is exhausted every
+// later candidate's grant is zero and its state untouched — so the
+// index heapifies the candidates in O(k) and pops just the prefix.
+// Audited runs instead sort the full candidate list (the SpareOrder tap
+// reports every would-be grant in feed order); the per-request rates
+// are identical either way because Index.Pop yields exactly Sort's
+// order, and the grant arithmetic is the same code.
+
+// gatherSpareCandidates fills e.cand with s's staging candidates at
+// time t: unfinished (always true for active requests), not suspended,
+// transmitting, not pinned by patching, with buffer room left. Each
+// entry's key is the request's untransmitted volume — the EFTF/LFTF
+// ordering quantity — and its position indexes s.active.
+func (e *Engine) gatherSpareCandidates(s *server, t float64, descending bool) {
+	bview := e.cfg.ViewRate
+	e.cand.Reset(descending)
+	for i, r := range s.active {
+		if r.suspended(t) || r.rate <= 0 {
+			continue
+		}
+		// Streams feeding multicast taps cannot run ahead (the shared
+		// receivers' buffers bound the sender), and patch streams share
+		// their client's buffer with the tapped remainder, so both stay
+		// at exactly b_view.
+		if r.taps > 0 || r.isPatch {
+			continue
+		}
+		if r.bufCap > 0 && r.bufferAt(t, bview) < r.bufCap-dataEps {
+			e.cand.Add(r.remaining(), r.id, int32(i))
+		}
+	}
+}
+
+// spareGrantTo computes how much spare a candidate can absorb:
+// min(avail, receive headroom), clamped at zero for saturated clients.
+func spareGrantTo(r *request, avail float64) float64 {
+	headroom := math.Inf(1)
+	if r.recvCap > 0 {
+		headroom = r.recvCap - r.rate
+	}
+	extra := headroom
+	if extra > avail {
+		extra = avail
+	}
+	if extra < 0 {
+		extra = 0 // this client is saturated; try the next
+	}
+	return extra
+}
+
+// spreadSpare hands spare bandwidth to staging candidates under the
+// configured discipline. Requests must be synced to t and already hold
+// their minimum rates.
+func (e *Engine) spreadSpare(s *server, t float64, avail float64) {
+	switch e.cfg.Spare {
+	case EvenSplit:
+		e.feedSpareEven(s, t, avail)
+	case LFTF:
+		// Latest projected finish first: the adversarial opposite.
+		e.feedSpareOrdered(s, t, avail, true)
+	default:
+		// EFTF: earliest projected finish first; ties broken by request
+		// id for determinism. DebugForceSpareMisorder inverts the order
+		// (test-only sabotage the auditor must catch).
+		e.feedSpareOrdered(s, t, avail, e.spareMisorder)
+	}
+}
+
+// feedSpareOrdered feeds spare to candidates in ascending (descending
+// when inverted) remaining-volume order.
+func (e *Engine) feedSpareOrdered(s *server, t float64, avail float64, descending bool) {
+	e.gatherSpareCandidates(s, t, descending)
+	if e.cand.Len() == 0 {
+		return
+	}
+	if e.audit != nil {
+		e.feedSpareAudited(s, t, avail)
+		return
+	}
+	e.cand.Init()
+	for avail > dataEps && e.cand.Len() > 0 {
+		r := s.active[e.cand.Pop().Pos]
+		if extra := spareGrantTo(r, avail); extra > 0 {
+			r.rate += extra
+			avail -= extra
+		}
+	}
+}
+
+// feedSpareAudited is the instrumented ordered feed: every candidate's
+// grant — including the zero grants after the spare runs out — is
+// reported to the SpareOrder tap in feed order, which requires the full
+// sort the hot path avoids.
+func (e *Engine) feedSpareAudited(s *server, t float64, avail float64) {
+	grants := e.spareGrantBuf[:0]
+	for _, ent := range e.cand.Sort() {
+		r := s.active[ent.Pos]
+		var extra float64
+		if avail > dataEps {
+			extra = spareGrantTo(r, avail)
+		}
+		grants = append(grants, SpareGrant{
+			Request: r.id, Remaining: ent.Key,
+			RateBefore: r.rate, Extra: extra, RecvCap: r.recvCap,
+		})
+		if extra > 0 {
+			r.rate += extra
+			avail -= extra
+		}
+	}
+	e.spareGrantBuf = grants
+	e.auditFail(e.audit.SpareOrder(t, s.id, e.cfg.Spare, grants))
+}
+
+// feedSpareEven water-fills spare equally across the candidates,
+// redistributing what saturated clients cannot absorb. Candidates are
+// processed in active order (the discipline is order-free by design and
+// emits no feed-order tap).
+func (e *Engine) feedSpareEven(s *server, t float64, avail float64) {
+	e.gatherSpareCandidates(s, t, false)
+	if e.cand.Len() == 0 {
+		return
+	}
+	// All() returns insertion order (nothing has been popped or sorted);
+	// the survivor filter works on a separate scratch so it cannot
+	// corrupt the index storage.
+	remaining := append(e.evenBuf[:0], e.cand.All()...)
+	e.evenBuf = remaining
+	for avail > dataEps && len(remaining) > 0 {
+		share := avail / float64(len(remaining))
+		next := remaining[:0]
+		for _, ent := range remaining {
+			r := s.active[ent.Pos]
+			headroom := math.Inf(1)
+			if r.recvCap > 0 {
+				headroom = r.recvCap - r.rate
+			}
+			extra := share
+			if extra >= headroom {
+				extra = headroom
+			} else {
+				next = append(next, ent) // can absorb more next round
+			}
+			if extra > 0 {
+				r.rate += extra
+				avail -= extra
+			}
+		}
+		if len(next) == len(remaining) {
+			break // everyone took a full share; spare exhausted
+		}
+		remaining = next
+	}
+}
+
+// allocateCopies feeds replica transfers from the spare bandwidth left
+// after the minimum-flow guarantee and ahead of client staging: fixing
+// placement is the more durable use of the spare. Each job is capped so
+// replication cannot monopolize the workahead benefit.
+func (e *Engine) allocateCopies(s *server, avail float64) float64 {
+	if len(s.copies) == 0 {
+		return avail
+	}
+	rateCap := e.copyRateCap()
+	for _, c := range s.copies {
+		r := rateCap
+		if r > avail {
+			r = avail
+		}
+		if r < 0 {
+			r = 0
+		}
+		c.rate = r
+		avail -= r
+		if avail <= dataEps {
+			avail = 0
+			rateCap = 0
+		}
+	}
+	return avail
+}
+
+// pausedAndFull reports whether r's viewer has paused with no buffer
+// room left: transmission must stop or the client buffer would
+// overflow (with no staging buffer at all, any pause stops the flow).
+func (e *Engine) pausedAndFull(r *request, t float64) bool {
+	return r.pausedView && r.bufferAt(t, e.cfg.ViewRate) >= r.bufCap-dataEps
+}

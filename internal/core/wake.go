@@ -1,0 +1,74 @@
+package core
+
+import "math"
+
+// nextWake returns the earliest future instant at which server s's
+// allocation must be recomputed absent external events: a transmission
+// finishing, a client buffer filling, a suspended stream resuming, or —
+// in intermittent mode — a paused stream draining to its resume guard.
+// Returns +Inf when the server is idle.
+//
+// The wake is recomputed from scratch at every event on purpose. A wake
+// time cached when a rate was assigned (t₀ + remaining₀/rate) and the
+// same quantity recomputed at a later event (t₁ + remaining₁/rate) are
+// equal mathematically but not in float64, so an incremental next-wake
+// index would drift from the from-scratch value by ulps and break the
+// engine's bit-identical determinism contract. The scan is a cheap
+// linear pass; the allocation-order work that used to dominate the
+// event path lives in the heap-selecting feeds (see spare.go).
+func (e *Engine) nextWake(s *server, t float64) float64 {
+	next := math.Inf(1)
+	bview := e.cfg.ViewRate
+	for _, r := range s.active {
+		if r.suspended(t) {
+			if r.suspendedUntil < next {
+				next = r.suspendedUntil
+			}
+			continue
+		}
+		if r.rate <= 0 {
+			// Paused by the intermittent scheduler: its buffer drains
+			// at b_view; it must be reconsidered when it reaches the
+			// resume guard (and certainly before it empties).
+			if e.cfg.Intermittent {
+				guard := e.resumeGuard() * bview
+				lead := r.bufferAt(t, bview) - guard
+				// lead ≤ 0 means the stream is already urgent; the
+				// allocation that just ran made its decision, and only
+				// another event (a finish, an arrival) can change it —
+				// scheduling a wake "now" would spin.
+				if lead > timeEps {
+					if tb := t + lead/bview; tb < next {
+						next = tb
+					}
+				}
+			}
+			continue
+		}
+		if tf := t + r.remaining()/r.rate; tf < next {
+			next = tf
+		}
+		if fill := r.rate - r.drainRate(bview); fill > dataEps && r.bufCap >= 0 {
+			// Buffer fills at rate − drain (drain is zero while the
+			// viewer has paused).
+			room := r.bufCap - r.bufferAt(t, bview)
+			if room < 0 {
+				room = 0
+			}
+			if tb := t + room/fill; tb < next {
+				next = tb
+			}
+		}
+	}
+	for _, c := range s.copies {
+		if c.rate > 0 {
+			if tc := t + (c.size-c.sent)/c.rate; tc < next {
+				next = tc
+			}
+		}
+	}
+	if next < t {
+		next = t // guard against float noise scheduling into the past
+	}
+	return next
+}

@@ -2,7 +2,7 @@ package placement
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"semicont/internal/catalog"
 	"semicont/internal/rng"
@@ -59,12 +59,16 @@ func Place(cat *catalog.Catalog, counts []int, capacities []float64, p *rng.PCG)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := cat.Video(order[a]).Size, cat.Video(order[b]).Size
-		if sa != sb {
-			return sa > sb
+	slices.SortFunc(order, func(a, b int) int {
+		sa, sb := cat.Video(a).Size, cat.Video(b).Size
+		switch {
+		case sa > sb:
+			return -1
+		case sa < sb:
+			return 1
+		default:
+			return a - b
 		}
-		return order[a] < order[b]
 	})
 
 	candidates := make([]int, 0, numServers)
@@ -199,7 +203,7 @@ func (l *Layout) TotalCopies() int {
 }
 
 func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }
 
 func fmtMb(v float64) string { return fmt.Sprintf("%.0f Mb", v) }

@@ -11,7 +11,7 @@ package placement
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"semicont/internal/catalog"
 	"semicont/internal/rng"
@@ -89,11 +89,15 @@ func (Predictive) Copies(cat *catalog.Catalog, totalCopies, maxCopies int, p *rn
 		assigned += c
 		fracs[i] = frac{i: i, r: ideal - float64(int(ideal))}
 	}
-	sort.Slice(fracs, func(a, b int) bool {
-		if fracs[a].r != fracs[b].r {
-			return fracs[a].r > fracs[b].r
+	slices.SortFunc(fracs, func(a, b frac) int {
+		switch {
+		case a.r > b.r:
+			return -1
+		case a.r < b.r:
+			return 1
+		default:
+			return a.i - b.i
 		}
-		return fracs[a].i < fracs[b].i
 	})
 	for k := 0; assigned < totalCopies; k = (k + 1) % n {
 		counts[fracs[k].i]++
@@ -182,12 +186,16 @@ func popularityOrder(cat *catalog.Catalog) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := cat.Video(order[a]).Prob, cat.Video(order[b]).Prob
-		if pa != pb {
-			return pa > pb
+	slices.SortFunc(order, func(a, b int) int {
+		pa, pb := cat.Video(a).Prob, cat.Video(b).Prob
+		switch {
+		case pa > pb:
+			return -1
+		case pa < pb:
+			return 1
+		default:
+			return a - b
 		}
-		return order[a] < order[b]
 	})
 	return order
 }

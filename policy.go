@@ -1,6 +1,10 @@
 package semicont
 
-import "fmt"
+import (
+	"fmt"
+
+	"semicont/internal/core"
+)
 
 // PlacementKind selects a static video placement strategy.
 type PlacementKind int
@@ -112,6 +116,16 @@ type Policy struct {
 	// the Theorem's scheduling rule.
 	Spare SpareKind
 
+	// Allocator selects the engine's bandwidth-allocation policy by
+	// registry name (see AllocatorNames). Empty uses the policy the
+	// Intermittent and Spare fields imply. Naming a built-in policy sets
+	// the fields it implies — e.g. AllocatorLFTF implies Spare:
+	// LFTFSpare — and contradictory explicit fields are validation
+	// errors. Custom policies registered with core.RegisterAllocator are
+	// selected by their registered name, with Intermittent and Spare
+	// passed through untouched.
+	Allocator string
+
 	// PatchWindowSec enables multicast patching when positive: a new
 	// request for a video already streaming taps that transmission and
 	// receives only the missed prefix as a short unicast patch, if the
@@ -158,6 +172,60 @@ func (k SpareKind) String() string {
 	}
 }
 
+// Registry names of the engine's built-in bandwidth-allocation
+// policies, usable as Policy.Allocator.
+const (
+	// AllocatorEFTF is minimum-flow plus Earliest-Finishing-Time-First
+	// workahead (the paper's Figure 2 algorithm).
+	AllocatorEFTF = core.AllocMinFlowEFTF
+	// AllocatorLFTF is minimum-flow plus latest-finisher-first workahead
+	// (the adversarial ablation).
+	AllocatorLFTF = core.AllocMinFlowLFTF
+	// AllocatorEvenSplit is minimum-flow plus water-filling workahead.
+	AllocatorEvenSplit = core.AllocMinFlowEvenSplit
+	// AllocatorIntermittent is the Section 3.3 intermittent-class
+	// heuristic (over-subscribing admission, pause-and-resume feeds).
+	AllocatorIntermittent = core.AllocIntermittent
+)
+
+// AllocatorNames returns the bandwidth-allocation policies registered
+// with the engine, sorted by name.
+func AllocatorNames() []string { return core.AllocatorNames() }
+
+// allocChoice resolves the effective scheduling fields from the
+// Allocator name and the legacy Intermittent/Spare fields, rejecting
+// contradictory combinations.
+func (p Policy) allocChoice() (intermittent bool, spare SpareKind, err error) {
+	var implied SpareKind
+	switch p.Allocator {
+	case "":
+		return p.Intermittent, p.Spare, nil
+	case AllocatorEFTF:
+		implied = EFTFSpare
+	case AllocatorLFTF:
+		implied = LFTFSpare
+	case AllocatorEvenSplit:
+		implied = EvenSplitSpare
+	case AllocatorIntermittent:
+		// The intermittent scheduler composes with any workahead
+		// discipline for its residual spare.
+		return true, p.Spare, nil
+	default:
+		if !core.HasAllocator(p.Allocator) {
+			return false, 0, fmt.Errorf("semicont: unknown allocator %q (have %v)", p.Allocator, AllocatorNames())
+		}
+		// Custom policy: scheduling fields pass through untouched.
+		return p.Intermittent, p.Spare, nil
+	}
+	if p.Intermittent {
+		return false, 0, fmt.Errorf("semicont: Allocator %q conflicts with Intermittent", p.Allocator)
+	}
+	if p.Spare != EFTFSpare && p.Spare != implied {
+		return false, 0, fmt.Errorf("semicont: Allocator %q conflicts with Spare %v", p.Allocator, p.Spare)
+	}
+	return false, implied, nil
+}
+
 // ClientClass is one kind of client in a heterogeneous population
 // (e.g. set-top boxes with disks vs. thin clients without).
 type ClientClass struct {
@@ -201,6 +269,10 @@ func (p Policy) receiveCap() float64 {
 
 // Validate reports policy errors.
 func (p Policy) Validate() error {
+	intermittent, _, err := p.allocChoice()
+	if err != nil {
+		return err
+	}
 	switch {
 	case p.Placement < EvenPlacement || p.Placement > PartialPredictivePlacement:
 		return fmt.Errorf("semicont: unknown placement %d", int(p.Placement))
@@ -227,7 +299,7 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("semicont: unknown spare discipline %d", int(p.Spare))
 	case !finite(p.PatchWindowSec) || p.PatchWindowSec < 0:
 		return fmt.Errorf("semicont: negative PatchWindowSec %g", p.PatchWindowSec)
-	case p.PatchWindowSec > 0 && p.Intermittent:
+	case p.PatchWindowSec > 0 && intermittent:
 		return fmt.Errorf("semicont: patching is incompatible with intermittent scheduling")
 	case !finite(p.PauseProb) || p.PauseProb < 0 || p.PauseProb > 1:
 		return fmt.Errorf("semicont: PauseProb %g outside [0,1]", p.PauseProb)
@@ -237,7 +309,7 @@ func (p Policy) Validate() error {
 		p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
 		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
 	}
-	if p.Intermittent && p.StagingFrac == 0 && len(p.ClientMix) == 0 {
+	if intermittent && p.StagingFrac == 0 && len(p.ClientMix) == 0 {
 		return fmt.Errorf("semicont: intermittent scheduling needs client staging buffers")
 	}
 	total := 0.0

@@ -220,14 +220,18 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 
+	// Validate vetted the allocator choice; the resolved fields drive the
+	// engine and the name rides along for the registry lookup.
+	intermittent, spare, _ := pol.allocChoice()
 	bufMb := pol.StagingFrac * cat.AvgSize()
 	cfg := core.Config{
 		ServerBandwidth: sys.bandwidths(),
 		ViewRate:        sys.ViewRate,
 		BufferCapacity:  bufMb,
 		Workahead:       pol.StagingFrac > 0,
-		Spare:           core.SpareDiscipline(pol.Spare),
-		Intermittent:    pol.Intermittent,
+		Spare:           core.SpareDiscipline(spare),
+		Allocator:       pol.Allocator,
+		Intermittent:    intermittent,
 		ResumeGuard:     pol.ResumeGuard,
 		CheckInvariants: sc.CheckInvariants,
 		Migration: core.MigrationConfig{
