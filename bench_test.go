@@ -121,6 +121,12 @@ func BenchmarkFailover(b *testing.B) {
 	})
 }
 
+func BenchmarkFaultSweep(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) (*experiments.Output, error) {
+		return experiments.FaultSweep(semicont.SmallSystem(), o)
+	})
+}
+
 // --- simulator throughput benchmarks ---
 
 // BenchmarkEngineSmallSystem measures end-to-end simulation throughput

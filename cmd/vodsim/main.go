@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"semicont"
+	"semicont/internal/faults"
 	"semicont/internal/trace"
 )
 
@@ -49,6 +50,14 @@ func main() {
 		trials    = flag.Int("trials", 1, "independent trials (seeds derived)")
 		failAt    = flag.Float64("fail-at", 0, "hours after which a server fails (0 = never)")
 		failSrv   = flag.Int("fail-server", 0, "server to fail")
+		mtbf      = flag.Float64("mtbf", 0, "per-server mean time between failures, hours (0 = no stochastic faults)")
+		mttr      = flag.Float64("mttr", 0, "per-server mean time to recovery, hours (required with -mtbf)")
+		coldRec   = flag.Bool("cold-recovery", false, "stochastic recoveries wipe the server's storage (rebuilt via -replicate)")
+		faultTr   = flag.String("fault-trace", "", "JSON fault-trace file of scripted fail/recover events (see internal/faults)")
+		retryQ    = flag.Bool("retry-queue", false, "queue rejected arrivals for bounded retry instead of dropping them")
+		retryPat  = flag.Float64("retry-patience", 0, "seconds a queued client waits before reneging (0 = 300s default)")
+		retryBack = flag.Float64("retry-backoff", 0, "seconds between admission retries (0 = 10s default)")
+		degraded  = flag.Bool("degraded", false, "degraded-mode playback: streams parked at a failure drain their buffer and reconnect on recovery")
 		traceOut  = flag.String("trace", "", "write an event trace CSV to this file (single trial only)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking (slow)")
 		auditOn   = flag.Bool("audit", false, "attach the invariant auditor: every event is checked against the model's conservation laws; a violation aborts the run with a structured error")
@@ -116,6 +125,22 @@ func main() {
 	if *alloc != "" {
 		pol.Allocator = *alloc
 	}
+	// Fault-tolerance knobs compose with both custom and paper policies.
+	pol.RetryQueue = pol.RetryQueue || *retryQ
+	pol.RetryPatienceSec = *retryPat
+	pol.RetryBackoffSec = *retryBack
+	pol.DegradedPlayback = pol.DegradedPlayback || *degraded
+
+	fcfg := faults.Config{MTBFHours: *mtbf, MTTRHours: *mttr, Cold: *coldRec}
+	if *faultTr != "" {
+		data, err := os.ReadFile(*faultTr)
+		if err != nil {
+			fatal(err)
+		}
+		if fcfg.Trace, err = faults.ParseTrace(data); err != nil {
+			fatal(err)
+		}
+	}
 
 	sc := semicont.Scenario{
 		System:          sys,
@@ -126,6 +151,7 @@ func main() {
 		Seed:            *seed,
 		FailServer:      *failSrv,
 		FailAtHours:     *failAt,
+		Faults:          fcfg,
 		CheckInvariants: *check,
 		Audit:           *auditOn,
 	}
@@ -219,6 +245,18 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 	if sc.FailAtHours > 0 {
 		fmt.Printf("failure            server %d at %g h: %d rescued, %d dropped\n",
 			sc.FailServer, sc.FailAtHours, r.RescuedStreams, r.DroppedStreams)
+	}
+	if sc.Faults.Enabled() {
+		fmt.Printf("faults             %d failures, %d recoveries (%d cold): %d rescued, %d dropped\n",
+			r.Failures, r.Recoveries, r.ColdRecoveries, r.RescuedStreams, r.DroppedStreams)
+	}
+	if sc.Policy.RetryQueue {
+		fmt.Printf("retry queue        %d queued, %d admitted on retry, %d reneged\n",
+			r.RetriesQueued, r.RetriedAdmissions, r.Reneged)
+	}
+	if sc.Policy.DegradedPlayback {
+		fmt.Printf("degraded playback  %d parked, %d resumed, %d glitched\n",
+			r.DegradedParked, r.DegradedResumed, r.DegradedGlitches)
 	}
 	if sc.Policy.Intermittent {
 		fmt.Printf("intermittent       %d streams glitched\n", r.GlitchedStreams)

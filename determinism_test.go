@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"semicont/internal/faults"
 )
 
 // TestRunTrialsDeterministicAcrossGOMAXPROCS pins the parallel-trial
@@ -45,6 +47,44 @@ func TestRunTrialsDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial.Migrations, parallel.Migrations) {
 		t.Error("migration sample diverged across GOMAXPROCS")
+	}
+}
+
+// TestFaultRunDeterministicAcrossGOMAXPROCS pins the stochastic fault
+// process to the determinism contract: every failure/recovery variate is
+// drawn per-server from a split RNG stream and compiled into the event
+// schedule before the run starts, so the trial fan-out must not perturb
+// it. Fault-heavy trials with retry and degraded playback enabled must be
+// bit-identical serially and with 8 workers.
+func TestFaultRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := quickScenario()
+	sc.HorizonHours = 2
+	sc.Policy.Migration, sc.Policy.MaxHops, sc.Policy.MaxChain = true, 2, 1
+	sc.Policy.RetryQueue = true
+	sc.Policy.DegradedPlayback = true
+	sc.Faults = faults.Config{MTBFHours: 0.5, MTTRHours: 0.1}
+	run := func(procs int) *Aggregate {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		agg, err := RunTrials(sc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial := run(1)
+	parallel := run(8)
+	churn := int64(0)
+	for i := range serial.Results {
+		if *serial.Results[i] != *parallel.Results[i] {
+			t.Errorf("fault trial %d diverged across GOMAXPROCS:\nserial   %+v\nparallel %+v",
+				i, serial.Results[i], parallel.Results[i])
+		}
+		churn += serial.Results[i].Failures
+	}
+	if churn == 0 {
+		t.Error("fault process injected no failures — the scenario is not exercising the schedule")
 	}
 }
 

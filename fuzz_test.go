@@ -1,6 +1,10 @@
 package semicont
 
-import "testing"
+import (
+	"testing"
+
+	"semicont/internal/faults"
+)
 
 // FuzzScenarioValidate fuzzes the public configuration surface against
 // the validation authority contract: Validate must never panic on any
@@ -12,18 +16,23 @@ import "testing"
 // that the construction path rejects, i.e. a gap in the contract.
 func FuzzScenarioValidate(f *testing.F) {
 	f.Add(5, 100.0, 50, 600.0, 1800.0, 2.2, 3.0,
-		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 0.271, 1.0, 0.0, 0, uint64(1))
+		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 0.271, 1.0, 0.0, 0, uint64(1),
+		0.0, 0.0, false, false, false)
 	f.Add(2, 30.0, 25, 300.0, 900.0, 2.0, 3.0,
-		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, -1.0, 1.2, 0.5, 1, uint64(7))
+		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, -1.0, 1.2, 0.5, 1, uint64(7),
+		0.02, 0.01, true, true, true)
 	f.Add(3, 45.0, 25, 300.0, 900.0, 2.0, 3.0,
-		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 1.0, 1.0, 0.0, 0, uint64(9))
+		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 1.0, 1.0, 0.0, 0, uint64(9),
+		0.05, 0.02, false, true, false)
 	f.Add(4, 60.0, 30, 300.0, 900.0, 2.0, 3.0,
-		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, -1.5, 1.0, 0.0, 0, uint64(3))
+		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, -1.5, 1.0, 0.0, 0, uint64(3),
+		-1.0, 0.5, false, false, true)
 	f.Fuzz(func(t *testing.T,
 		numServers int, bw float64, numVideos int, minLen, maxLen, avgCopies, viewRate float64,
 		stagingFrac float64, spare int, migration bool, maxHops, maxChain int,
 		replicate, intermittent bool, patchWindow, pauseProb float64,
-		theta, load, failAt float64, failServer int, seed uint64) {
+		theta, load, failAt float64, failServer int, seed uint64,
+		mtbf, mttr float64, cold, retryQueue, degraded bool) {
 		sc := Scenario{
 			System: System{
 				Name:            "fuzz",
@@ -44,11 +53,13 @@ func FuzzScenarioValidate(f *testing.F) {
 				MaxHops:        maxHops,
 				MaxChain:       maxChain,
 				Replicate:      replicate,
-				Intermittent:   intermittent,
-				PatchWindowSec: patchWindow,
-				PauseProb:      pauseProb,
-				MinPauseSec:    30,
-				MaxPauseSec:    120,
+				Intermittent:     intermittent,
+				PatchWindowSec:   patchWindow,
+				PauseProb:        pauseProb,
+				MinPauseSec:      30,
+				MaxPauseSec:      120,
+				RetryQueue:       retryQueue,
+				DegradedPlayback: degraded,
 			},
 			Theta:        theta,
 			HorizonHours: 1,
@@ -56,6 +67,12 @@ func FuzzScenarioValidate(f *testing.F) {
 			Seed:         seed,
 			FailServer:   failServer,
 			FailAtHours:  failAt,
+			Faults:       faults.Config{MTBFHours: mtbf, MTTRHours: mttr, Cold: cold},
+		}
+		if sc.Faults.Enabled() {
+			// The stochastic process and the legacy single-failure knob are
+			// mutually exclusive by contract; exercise the fault path.
+			sc.FailAtHours = 0
 		}
 		if err := sc.Validate(); err != nil {
 			return // rejection is fine; panicking is not
@@ -65,6 +82,17 @@ func FuzzScenarioValidate(f *testing.F) {
 			viewRate < 1 || minLen < 60 || maxLen > 1800 ||
 			theta < -2 || theta > 2 || load > 1.5 ||
 			stagingFrac > 1 || patchWindow > 1800 {
+			return
+		}
+		// A sub-minute MTBF would compile thousands of fault events even
+		// for the shortened horizon; keep churn but bound the schedule.
+		if mtbf > 0 && mtbf < 0.01 {
+			return
+		}
+		// Placement feasibility depends on the randomized catalog, which
+		// Validate cannot see; skip geometries whose expected catalog bytes
+		// crowd the cluster's disk (bin-packing may legitimately fail).
+		if float64(numVideos)*avgCopies*maxLen*viewRate > 0.5*float64(numServers)*1e6 {
 			return
 		}
 		sc.HorizonHours = 0.05

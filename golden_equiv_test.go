@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+
+	"semicont/internal/faults"
 )
 
 // Golden equivalence fixtures: fixed-seed results for a scenario matrix
@@ -88,6 +90,33 @@ func goldenMatrix() []struct {
 	fail := base(drm(Policy{Name: "failover", StagingFrac: 0.2}, UnlimitedHops, 1))
 	fail.FailServer, fail.FailAtHours = 2, 1
 	add("failover", fail)
+
+	// Stochastic failure/recovery churn with the full fault-tolerance
+	// stack: retry queue, degraded-mode playback, and DRM rescue. Audit
+	// is on so the fixture also pins the tap-instrumented path.
+	churn := base(drm(Policy{
+		Name: "fault-churn", StagingFrac: 0.2,
+		RetryQueue: true, RetryPatienceSec: 120, RetryBackoffSec: 15,
+		DegradedPlayback: true, DegradedRetrySec: 5,
+	}, UnlimitedHops, 1))
+	churn.Faults = faults.Config{MTBFHours: 1, MTTRHours: 0.2}
+	churn.Audit = true
+	add("fault-churn", churn)
+
+	// Scripted cold-recovery trace: a wiped server rejoins with empty
+	// storage and is rebuilt through dynamic replication.
+	coldTrace := base(drm(Policy{
+		Name: "fault-cold-trace", StagingFrac: 0.2, Replicate: true,
+		DegradedPlayback: true, DegradedRetrySec: 5,
+	}, 1, 1))
+	coldTrace.Faults = faults.Config{Trace: []faults.Event{
+		{AtHours: 0.25, Server: 1, Kind: faults.KindFail},
+		{AtHours: 0.5, Server: 1, Kind: faults.KindRecover, Cold: true},
+		{AtHours: 1.0, Server: 3, Kind: faults.KindFail},
+		{AtHours: 1.4, Server: 3, Kind: faults.KindRecover},
+	}}
+	coldTrace.Audit = true
+	add("fault-cold-trace", coldTrace)
 
 	// Audited runs pin the instrumented allocation path (full feed-order
 	// reporting) to the same results as the bare one.

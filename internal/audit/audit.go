@@ -16,9 +16,14 @@
 //   - placement: every stream is served by a server that holds its
 //     video (tracked against the auditor's own replica map, updated
 //     only by replication taps), and dynamic replicas fit storage;
-//   - accounting: arrivals = accepted + rejected, accepted streams all
-//     finish or are dropped, and delivered volume never exceeds
-//     accepted volume.
+//   - faults: failures and recoveries alternate per server, every
+//     stream active at a failure is rescued, dropped, or parked, and a
+//     cold recovery resets the auditor's replica and storage model so
+//     later placement checks see the wiped state;
+//   - accounting: arrivals = accepted + rejected + reneged, accepted
+//     streams all finish or are dropped, retry-queue and degraded-mode
+//     episodes balance, and delivered volume never exceeds accepted
+//     volume.
 //
 // The auditor fails fast: the first violation aborts the run and
 // surfaces as a structured *Violation error naming the event, server,
@@ -49,7 +54,7 @@ type Violation struct {
 	// "slots", "failed-active", "copy-rate", "eftf-order", "eftf-feed",
 	// "intermittent-order", "intermittent-feed", "hops", "chain",
 	// "migration-target", "replica", "replica-dup", "storage",
-	// "accounting".
+	// "fault-state", "failure-accounting", "accounting".
 	Rule string
 
 	Time    float64 // simulation time of the violating event
@@ -78,6 +83,15 @@ type Auditor struct {
 	holders     []map[int32]bool // video → servers holding a replica
 	storageUsed []float64        // static + dynamic storage per server, Mb
 	rescued     map[int64]bool   // requests moved by failure rescue (hop budget waived)
+
+	// Fault model, re-derived from taps and event records: per-server
+	// active stream counts and failed flags as of the last event (the
+	// state a failure event's dispositions must account for), and the
+	// running fail/recover tallies.
+	lastActive []int
+	lastFailed []bool
+	failures   int64
+	recoveries int64
 
 	// Current event context, established by BeginEvent, attributed to
 	// violations raised by in-event taps.
@@ -172,6 +186,18 @@ func (a *Auditor) BeginEvent(seq uint64, t float64, kind core.AuditEventKind, se
 // Event implements core.AuditTap: the per-event conservation checks.
 func (a *Auditor) Event(rec core.AuditEventRecord) error {
 	a.events++
+	if a.lastActive == nil {
+		a.lastActive = make([]int, len(rec.Servers))
+		a.lastFailed = make([]bool, len(rec.Servers))
+	}
+	defer func() {
+		// Remember the post-event state: the next failure event's
+		// dispositions are checked against these counts.
+		for si := range rec.Servers {
+			a.lastActive[si] = len(rec.Servers[si].Requests)
+			a.lastFailed[si] = rec.Servers[si].Failed
+		}
+	}()
 	bview := a.cfg.ViewRate
 	for si := range rec.Servers {
 		s := &rec.Servers[si]
@@ -336,6 +362,48 @@ func (a *Auditor) Migration(t float64, req int64, video int32, from, to int32, h
 	return nil
 }
 
+// Failure implements core.AuditTap: a failure must dispose of exactly
+// the streams active on the server when it failed (rescued, dropped,
+// or parked — none silently vanish), and failures must strike only
+// servers that were up.
+func (a *Auditor) Failure(t float64, server int32, rescued, dropped, parked int) error {
+	a.failures++
+	sid := int(server)
+	was := 0
+	if sid < len(a.lastActive) {
+		was = a.lastActive[sid]
+	}
+	if sid < len(a.lastFailed) && a.lastFailed[sid] {
+		return a.fail("fault-state", sid, 0, "failure of a server already failed")
+	}
+	if rescued < 0 || dropped < 0 || parked < 0 || rescued+dropped+parked != was {
+		return a.fail("failure-accounting", sid, 0,
+			"%d rescued + %d dropped + %d parked != %d streams active at failure",
+			rescued, dropped, parked, was)
+	}
+	return nil
+}
+
+// Recovery implements core.AuditTap: recoveries must follow failures,
+// and a cold recovery resets the auditor's independent replica and
+// storage model so subsequent placement checks reflect the wipe.
+func (a *Auditor) Recovery(t float64, server int32, cold bool) error {
+	a.recoveries++
+	sid := int(server)
+	if sid >= len(a.lastFailed) || !a.lastFailed[sid] {
+		return a.fail("fault-state", sid, 0, "recovery of a server that was not failed")
+	}
+	if cold {
+		for _, set := range a.holders {
+			delete(set, server)
+		}
+		if sid < len(a.storageUsed) {
+			a.storageUsed[sid] = 0
+		}
+	}
+	return nil
+}
+
 // Chain implements core.AuditTap: per-admission chain bounds.
 func (a *Auditor) Chain(t float64, length int) error {
 	if length < 1 || length > a.effMaxChain {
@@ -374,13 +442,40 @@ func (a *Auditor) Replication(t float64, video, from, to int32, size float64) er
 // once the run has drained.
 func (a *Auditor) End(t float64, m core.Metrics) error {
 	a.curTime, a.curKind = t, "end"
-	if m.Arrivals != m.Accepted+m.Rejected {
+	if m.Arrivals != m.Accepted+m.Rejected+m.Reneged {
 		return a.fail("accounting", -1, 0,
-			"%d arrivals != %d accepted + %d rejected", m.Arrivals, m.Accepted, m.Rejected)
+			"%d arrivals != %d accepted + %d rejected + %d reneged",
+			m.Arrivals, m.Accepted, m.Rejected, m.Reneged)
 	}
 	if m.Accepted != m.Completions+m.DroppedStreams {
 		return a.fail("accounting", -1, 0,
 			"%d accepted != %d completions + %d dropped after drain", m.Accepted, m.Completions, m.DroppedStreams)
+	}
+	if m.RetriesQueued != m.RetriedAdmissions+m.Reneged {
+		return a.fail("accounting", -1, 0,
+			"%d retries queued != %d retried admissions + %d reneged after drain",
+			m.RetriesQueued, m.RetriedAdmissions, m.Reneged)
+	}
+	if m.DegradedParked != m.DegradedResumed+m.DegradedGlitches {
+		return a.fail("accounting", -1, 0,
+			"%d parked != %d resumed + %d glitched after drain",
+			m.DegradedParked, m.DegradedResumed, m.DegradedGlitches)
+	}
+	if a.failures != m.Failures || a.recoveries != m.Recoveries {
+		return a.fail("fault-state", -1, 0,
+			"audited %d failures / %d recoveries, metrics report %d / %d",
+			a.failures, a.recoveries, m.Failures, m.Recoveries)
+	}
+	downNow := int64(0)
+	for _, f := range a.lastFailed {
+		if f {
+			downNow++
+		}
+	}
+	if m.Failures-m.Recoveries != downNow {
+		return a.fail("fault-state", -1, 0,
+			"%d failures − %d recoveries != %d servers down at end",
+			m.Failures, m.Recoveries, downNow)
 	}
 	if m.DeliveredBytes > m.AcceptedBytes*(1+1e-9)+dataEps {
 		return a.fail("accounting", -1, 0,

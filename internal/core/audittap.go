@@ -21,6 +21,9 @@ const (
 	AuditFailure
 	AuditPause
 	AuditResume
+	AuditRecovery
+	AuditRetry
+	AuditPark
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +39,12 @@ func (k AuditEventKind) String() string {
 		return "pause"
 	case AuditResume:
 		return "resume"
+	case AuditRecovery:
+		return "recovery"
+	case AuditRetry:
+		return "retry"
+	case AuditPark:
+		return "park"
 	default:
 		return "unknown"
 	}
@@ -149,6 +158,13 @@ type AuditTap interface {
 	// Migration reports one executed request move. hops is the
 	// request's lifetime count after this move.
 	Migration(t float64, req int64, video int32, from, to int32, hops int32, rescue bool) error
+	// Failure reports the disposition of a failed server's streams:
+	// every stream active at the failure instant was rescued, dropped,
+	// or parked into degraded-mode playback.
+	Failure(t float64, server int32, rescued, dropped, parked int) error
+	// Recovery reports a failed server rejoining the cluster; cold
+	// means its storage was wiped.
+	Recovery(t float64, server int32, cold bool) error
 	// Chain reports the length of an executed DRM admission chain.
 	Chain(t float64, length int) error
 	// Replication reports a completed replica install.
@@ -211,6 +227,14 @@ func auditKind(ev event) (kind AuditEventKind, server int32, req int64) {
 		return AuditPause, -1, ev.req
 	case evResume:
 		return AuditResume, -1, ev.req
+	case evRecovery:
+		return AuditRecovery, ev.server, 0
+	case evRetry:
+		// ev.req is a retry-queue entry id, not a request id; the
+		// record's Request field reports only real stream ids.
+		return AuditRetry, -1, 0
+	case evParkTick:
+		return AuditPark, -1, ev.req
 	default:
 		return AuditWake, -1, 0
 	}

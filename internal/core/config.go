@@ -177,6 +177,14 @@ type Config struct {
 	// prefix patches (related-work technique; Section 6 future work).
 	Patching PatchingConfig
 
+	// Retry configures the bounded admission retry queue (fault
+	// tolerance: rejected requests wait and re-enter admission).
+	Retry RetryConfig
+
+	// Degraded configures degraded-mode playback on failure (streams
+	// with staged data park and drain their buffers instead of dropping).
+	Degraded DegradedConfig
+
 	// Interactivity lets viewers pause mid-play (the situation excluded
 	// by the paper's EFTF optimality theorem — "if the videos are not
 	// paused" — and raised as future work in Section 6). A paused
@@ -212,6 +220,77 @@ type Config struct {
 	// CheckInvariants enables expensive model-invariant assertions after
 	// every event (tests use this; experiment runs leave it off).
 	CheckInvariants bool
+}
+
+// RetryConfig controls the admission retry queue: rejected requests
+// wait (bounded patience, periodic backoff) and re-enter admission —
+// including DRM and, through the rejection path, dynamic replication —
+// instead of being lost instantly. The queue models clients that retry
+// during a transient outage; a request whose patience expires before a
+// slot opens reneges, accounted separately from instant rejections
+// (Metrics.Reneged vs Metrics.Rejected).
+type RetryConfig struct {
+	// Enabled turns the retry queue on. When off, rejections are final
+	// (the historical behaviour).
+	Enabled bool
+
+	// MaxQueue bounds the number of waiting requests; arrivals rejected
+	// while the queue is full are rejected outright. Zero means 64.
+	MaxQueue int
+
+	// Patience is how long one request waits before reneging, in
+	// seconds. Zero means 300.
+	Patience float64
+
+	// Backoff is the interval between admission re-attempts, in seconds.
+	// Zero means 10.
+	Backoff float64
+}
+
+// Validate reports configuration errors.
+func (r RetryConfig) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.MaxQueue < 0 {
+		return fmt.Errorf("core: negative retry MaxQueue %d", r.MaxQueue)
+	}
+	if math.IsNaN(r.Patience) || math.IsInf(r.Patience, 0) || r.Patience < 0 {
+		return fmt.Errorf("core: retry Patience %g must be finite and non-negative", r.Patience)
+	}
+	if math.IsNaN(r.Backoff) || math.IsInf(r.Backoff, 0) || r.Backoff < 0 {
+		return fmt.Errorf("core: retry Backoff %g must be finite and non-negative", r.Backoff)
+	}
+	return nil
+}
+
+// DegradedConfig controls degraded-mode playback: when a server fails
+// and a stream finds no rescue target able to grant the full b_view
+// minimum flow, the stream is parked instead of dropped — its client
+// keeps playing from the staged workahead buffer at view rate, and the
+// controller periodically re-attempts admission. Only when the buffer
+// runs dry does the viewer glitch and the stream count as dropped. This
+// turns EFTF staging (which fills buffers earliest) into a measurable
+// robustness mechanism.
+type DegradedConfig struct {
+	// Enabled turns parking on. Streams with no buffered data (or
+	// pinned by patching, or mid-switch) are dropped as before.
+	Enabled bool
+
+	// RetryInterval is the spacing of readmission attempts for a parked
+	// stream, in seconds. Zero means 5.
+	RetryInterval float64
+}
+
+// Validate reports configuration errors.
+func (d DegradedConfig) Validate() error {
+	if !d.Enabled {
+		return nil
+	}
+	if math.IsNaN(d.RetryInterval) || math.IsInf(d.RetryInterval, 0) || d.RetryInterval < 0 {
+		return fmt.Errorf("core: degraded RetryInterval %g must be finite and non-negative", d.RetryInterval)
+	}
+	return nil
 }
 
 // InteractivityConfig controls viewer pause behaviour.
@@ -302,6 +381,12 @@ func (c Config) Validate() error {
 	}
 	if c.Intermittent && !c.Workahead {
 		return fmt.Errorf("core: intermittent scheduling requires Workahead (it pauses streams against their buffers)")
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Degraded.Validate(); err != nil {
+		return err
 	}
 	if err := c.Interactivity.Validate(); err != nil {
 		return err

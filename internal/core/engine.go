@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"semicont/internal/catalog"
 	"semicont/internal/core/alloc"
@@ -27,13 +28,17 @@ const (
 	evFailure
 	evPause
 	evResume
+	evRecovery
+	evRetry
+	evParkTick
 )
 
 type event struct {
 	kind    evKind
 	server  int32
 	version uint64
-	req     int64 // pause/resume target
+	req     int64 // pause/resume/park target request, or retry entry id
+	cold    bool  // recovery only: storage wiped
 }
 
 // Engine runs one cluster simulation: it owns the servers, the future
@@ -69,6 +74,15 @@ type Engine struct {
 	extraHolders map[int32][]int32
 	extraUsed    []float64
 	copying      map[int32]bool
+
+	// Fault-tolerance state (see faulttol.go): per-server scheduled
+	// fail/recover bookkeeping, cold-wiped static storage, the admission
+	// retry queue, and streams parked in degraded-mode playback.
+	faultSched  []faultSched
+	staticWiped []bool
+	retryQ      map[int64]*retryEntry
+	nextRetryID int64
+	parked      map[int64]*request
 
 	// Audit instrumentation (nil when no auditor is attached): the tap,
 	// the first violation raised, the event sequence counter, and the
@@ -149,17 +163,70 @@ func (e *Engine) Now() float64 { return e.now }
 // Metrics returns the live metrics (valid during and after Run).
 func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
-// ScheduleFailure arranges for server id to fail at time t. Streams on
-// the failed server are rescued via migration where a replica holder
-// has room, and dropped otherwise. Call before Run.
-func (e *Engine) ScheduleFailure(t float64, id int) error {
+// faultSched tracks what has been scheduled for one server so the
+// Schedule* methods can reject malformed sequences up front: failures
+// and recoveries must alternate per server (starting from the up
+// state) with non-decreasing times.
+type faultSched struct {
+	down  bool    // a scheduled failure has no recovery yet
+	lastT float64 // time of the last scheduled event
+}
+
+// checkFaultTime validates a fault-event time against a server's
+// schedule so far.
+func (e *Engine) checkFaultTime(t float64, id int, what string) error {
 	if id < 0 || id >= len(e.servers) {
 		return fmt.Errorf("core: no server %d", id)
 	}
-	if t < 0 {
-		return fmt.Errorf("core: failure time %g before start", t)
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("core: %s time %g is not finite", what, t)
 	}
+	if t < 0 {
+		return fmt.Errorf("core: %s time %g before start", what, t)
+	}
+	if e.faultSched == nil {
+		e.faultSched = make([]faultSched, len(e.servers))
+	}
+	if prev := e.faultSched[id].lastT; t < prev {
+		return fmt.Errorf("core: %s of server %d at %g precedes its already-scheduled event at %g", what, id, t, prev)
+	}
+	return nil
+}
+
+// ScheduleFailure arranges for server id to fail at time t. Streams on
+// the failed server are rescued via migration where a replica holder
+// has room, parked in degraded-mode playback when configured and
+// buffered data allows, and dropped otherwise. Per server, failures
+// and recoveries must alternate in non-decreasing time order; a
+// duplicate failure of an already-failed server is an error. Call
+// before Run.
+func (e *Engine) ScheduleFailure(t float64, id int) error {
+	if err := e.checkFaultTime(t, id, "failure"); err != nil {
+		return err
+	}
+	if e.faultSched[id].down {
+		return fmt.Errorf("core: server %d is already scheduled to be down at t=%g (schedule its recovery first)", id, t)
+	}
+	e.faultSched[id] = faultSched{down: true, lastT: t}
 	e.events.Push(t, event{kind: evFailure, server: int32(id)})
+	return nil
+}
+
+// ScheduleRecovery arranges for a failed server to rejoin the cluster
+// at time t. A warm recovery (cold=false) returns with its replicas
+// intact; a cold recovery wipes the server's storage — its replicas
+// are lost and are rebuilt only through the dynamic-replication path.
+// The recovery must follow a scheduled failure of the same server.
+// Call before Run.
+func (e *Engine) ScheduleRecovery(t float64, id int, cold bool) error {
+	if err := e.checkFaultTime(t, id, "recovery"); err != nil {
+		return err
+	}
+	if !e.faultSched[id].down {
+		return fmt.Errorf("core: recovery of server %d at t=%g without a preceding failure", id, t)
+	}
+	e.faultSched[id] = faultSched{down: false, lastT: t}
+	e.events.Push(t, event{kind: evRecovery, server: int32(id), cold: cold})
 	return nil
 }
 
@@ -243,6 +310,12 @@ func (e *Engine) Step() bool {
 		e.handleInteraction(ev.req, e.now, true)
 	case evResume:
 		e.handleInteraction(ev.req, e.now, false)
+	case evRecovery:
+		e.handleRecovery(e.servers[ev.server], e.now, ev.cold)
+	case evRetry:
+		e.handleRetry(ev.req, e.now)
+	case evParkTick:
+		e.handleParkTick(ev.req, ev.version, e.now)
 	}
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
@@ -268,28 +341,19 @@ func (e *Engine) handleArrival(t float64) {
 	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
 		return
 	}
-	var best *server
-	for _, h := range e.holders(v) {
-		s := e.servers[h]
-		if e.cfg.Intermittent {
-			s.syncAll(t) // the admission test reads buffer levels
-		}
-		if e.canAccept(s, t) && (best == nil || s.load() < best.load()) {
-			best = s
-		}
-	}
-	viaDRM := false
-	if best == nil && e.cfg.Migration.Enabled {
-		best, viaDRM = e.admitViaMigration(int32(v), t)
-	}
+	best, viaDRM := e.findAdmission(v, t)
 	if best == nil {
-		e.metrics.Rejected++
-		if e.obs != nil {
-			e.obs.OnReject(t, v)
+		if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
+			e.enqueueRetry(v, t, bufCap, recvCap)
+		} else {
+			e.metrics.Rejected++
+			if e.obs != nil {
+				e.obs.OnReject(t, v)
+			}
 		}
 		if e.cfg.Replication.Enabled {
-			// The request is lost, but copying the video to a fresh
-			// server serves the demand the rejection revealed.
+			// The request is lost (or waiting), but copying the video to
+			// a fresh server serves the demand the rejection revealed.
 			e.startReplication(int32(v), t)
 		}
 		return
@@ -306,6 +370,27 @@ func (e *Engine) handleArrival(t float64) {
 	}
 	e.scheduleInteraction(r, t)
 	e.reschedule(best, t)
+}
+
+// findAdmission locates a server for a new stream of video v: the
+// least-loaded live replica holder with admission room, else a server
+// freed via dynamic request migration when configured. The bool
+// reports a DRM admission. Arrivals and retry-queue attempts share it.
+func (e *Engine) findAdmission(v int, t float64) (*server, bool) {
+	var best *server
+	for _, h := range e.holders(v) {
+		s := e.servers[h]
+		if e.cfg.Intermittent {
+			s.syncAll(t) // the admission test reads buffer levels
+		}
+		if e.canAccept(s, t) && (best == nil || s.load() < best.load()) {
+			best = s
+		}
+	}
+	if best == nil && e.cfg.Migration.Enabled {
+		return e.admitViaMigration(int32(v), t)
+	}
+	return best, false
 }
 
 // scheduleInteraction decides at admission whether this viewing pauses
@@ -334,6 +419,18 @@ func (e *Engine) handleInteraction(id int64, t float64, pause bool) {
 	r, ok := e.byID[id]
 	if !ok {
 		return // transmission already complete; playback state moot
+	}
+	if r.parked {
+		// No server to reschedule; recompute the buffer-dry horizon.
+		r.syncTo(t)
+		if pause {
+			r.pauseViewing(t, e.cfg.ViewRate)
+			e.metrics.ViewerPauses++
+		} else {
+			r.resumeViewing(t)
+		}
+		e.nextParkTick(r, t)
+		return
 	}
 	s := e.servers[r.server]
 	s.syncAll(t)
@@ -388,7 +485,8 @@ func (e *Engine) handleFailure(s *server, t float64) {
 	s.failed = true
 	e.metrics.Failures++
 	e.abortCopies(s)
-	rescued, dropped := 0, 0
+	bview := e.cfg.ViewRate
+	rescued, dropped, parked := 0, 0, 0
 	for len(s.active) > 0 {
 		r := s.active[0]
 		var target *server
@@ -397,7 +495,7 @@ func (e *Engine) handleFailure(s *server, t float64) {
 		// switch servers mid-stream). The hops budget is waived — a
 		// stream facing death is moved if at all possible.
 		if e.cfg.Migration.Enabled && e.migratable(r, t, true) {
-			for _, h := range e.layout.Holders(int(r.video)) {
+			for _, h := range e.holders(int(r.video)) {
 				c := e.servers[h]
 				if e.cfg.Intermittent {
 					c.syncAll(t) // canAccept reads buffer levels
@@ -409,6 +507,16 @@ func (e *Engine) handleFailure(s *server, t float64) {
 			}
 		}
 		if target == nil {
+			// No rescue target. A stream with buffered data can play on
+			// in degraded mode and try to reconnect later; patch trees
+			// are pinned and mid-switch streams have no data flowing.
+			if e.cfg.Degraded.Enabled && !r.isPatch && r.taps == 0 &&
+				!r.suspended(t) && !r.finished() &&
+				r.bufferAt(t, bview) > dataEps {
+				e.park(r, s, t)
+				parked++
+				continue
+			}
 			// No home for this stream: it is dropped mid-play.
 			s.detach(r)
 			e.metrics.DroppedStreams++
@@ -437,7 +545,10 @@ func (e *Engine) handleFailure(s *server, t float64) {
 	}
 	s.version++ // cancel any pending wake; the server is dead
 	if e.obs != nil {
-		e.obs.OnFailure(t, int(s.id), rescued, dropped)
+		e.obs.OnFailure(t, int(s.id), rescued, dropped, parked)
+	}
+	if e.audit != nil {
+		e.auditFail(e.audit.Failure(t, s.id, rescued, dropped, parked))
 	}
 }
 

@@ -25,8 +25,9 @@ func (o *finishObserver) OnMigrate(t float64, reqID int64, video, from, to int, 
 func (o *finishObserver) OnFinish(t float64, reqID int64, video, server int) {
 	o.finishes[reqID] = t
 }
-func (o *finishObserver) OnFailure(t float64, server int, rescued, dropped int) {}
-func (o *finishObserver) OnReplicate(t float64, video, from, to int)            {}
+func (o *finishObserver) OnFailure(t float64, server int, rescued, dropped, parked int) {}
+func (o *finishObserver) OnRecovery(t float64, server int, cold bool)                   {}
+func (o *finishObserver) OnReplicate(t float64, video, from, to int)                    {}
 
 func TestSingleRequestContinuous(t *testing.T) {
 	cat := fixedCatalog(t, 1, 1200) // one 3600 Mb video

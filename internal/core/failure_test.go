@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"semicont/internal/workload"
@@ -116,24 +117,63 @@ func TestFailedServerRejectsNewArrivals(t *testing.T) {
 	}
 }
 
-func TestDoubleFailureEventIdempotent(t *testing.T) {
-	cat := fixedCatalog(t, 1, 1200)
-	cfg := Config{ServerBandwidth: []float64{6}, ViewRate: 3}
-	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
-		{Arrival: 0, Video: 0},
-	})
-	if err := e.ScheduleFailure(50, 0); err != nil {
-		t.Fatal(err)
+// TestScheduleFaultValidation pins the scheduling preconditions: per
+// server, failures and recoveries must alternate (starting up) in
+// non-decreasing, finite, non-negative time order, on a server that
+// exists. Each case replays a schedule and expects the last call to
+// fail (or the whole sequence to succeed).
+func TestScheduleFaultValidation(t *testing.T) {
+	type step struct {
+		recover bool
+		t       float64
+		id      int
 	}
-	if err := e.ScheduleFailure(60, 0); err != nil {
-		t.Fatal(err)
+	inf := math.Inf(1)
+	cases := []struct {
+		name  string
+		steps []step
+		ok    bool
+	}{
+		{"fail then recover", []step{{false, 50, 0}, {true, 60, 0}}, true},
+		{"two servers interleaved", []step{{false, 50, 0}, {false, 55, 1}, {true, 60, 0}, {true, 61, 1}}, true},
+		{"fail recover fail again", []step{{false, 50, 0}, {true, 60, 0}, {false, 70, 0}}, true},
+		{"same-time fail and recover", []step{{false, 50, 0}, {true, 50, 0}}, true},
+		{"duplicate failure", []step{{false, 50, 0}, {false, 60, 0}}, false},
+		{"recovery without failure", []step{{true, 50, 0}}, false},
+		{"double recovery", []step{{false, 50, 0}, {true, 60, 0}, {true, 70, 0}}, false},
+		{"recovery before failure time", []step{{false, 50, 0}, {true, 40, 0}}, false},
+		{"failure before prior recovery", []step{{false, 50, 0}, {true, 60, 0}, {false, 55, 0}}, false},
+		{"negative failure id", []step{{false, 50, -1}}, false},
+		{"failure id out of range", []step{{false, 50, 2}}, false},
+		{"recovery id out of range", []step{{true, 50, 7}}, false},
+		{"negative failure time", []step{{false, -1, 0}}, false},
+		{"nan failure time", []step{{false, math.NaN(), 0}}, false},
+		{"inf failure time", []step{{false, inf, 0}}, false},
+		{"nan recovery time", []step{{false, 50, 0}, {true, math.NaN(), 0}}, false},
 	}
-	m := run(t, e, 2000)
-	if m.Failures != 1 {
-		t.Errorf("Failures = %d, want 1 (second event is a no-op)", m.Failures)
-	}
-	if m.DroppedStreams != 1 {
-		t.Errorf("DroppedStreams = %d, want 1", m.DroppedStreams)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := fixedCatalog(t, 1, 1200)
+			cfg := Config{ServerBandwidth: []float64{6, 6}, ViewRate: 3}
+			e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, nil)
+			var err error
+			for i, st := range tc.steps {
+				if st.recover {
+					err = e.ScheduleRecovery(st.t, st.id, false)
+				} else {
+					err = e.ScheduleFailure(st.t, st.id)
+				}
+				if err != nil && i < len(tc.steps)-1 {
+					t.Fatalf("step %d failed early: %v", i, err)
+				}
+			}
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("schedule accepted, want error")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/workload"
+)
+
+func TestWarmRecoveryRestoresService(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{ServerBandwidth: []float64{6}, ViewRate: 3}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},   // dropped at the failure
+		{Arrival: 60, Video: 0},  // server down: rejected
+		{Arrival: 200, Video: 0}, // server back: accepted
+	})
+	if err := e.ScheduleFailure(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleRecovery(100, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.Failures != 1 || m.Recoveries != 1 || m.ColdRecoveries != 0 {
+		t.Fatalf("failures=%d recoveries=%d cold=%d", m.Failures, m.Recoveries, m.ColdRecoveries)
+	}
+	if m.Accepted != 2 || m.Rejected != 1 || m.DroppedStreams != 1 {
+		t.Fatalf("accepted=%d rejected=%d dropped=%d, want 2/1/1", m.Accepted, m.Rejected, m.DroppedStreams)
+	}
+	if m.Completions != 1 {
+		t.Errorf("completions = %d, want 1", m.Completions)
+	}
+}
+
+func TestColdRecoveryWipesReplicas(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{ServerBandwidth: []float64{6}, ViewRate: 3}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 200, Video: 0}, // server up but wiped: no replica, rejected
+	})
+	if err := e.ScheduleFailure(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleRecovery(100, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.Recoveries != 1 || m.ColdRecoveries != 1 {
+		t.Fatalf("recoveries=%d cold=%d", m.Recoveries, m.ColdRecoveries)
+	}
+	if m.Accepted != 0 || m.Rejected != 1 {
+		t.Fatalf("accepted=%d rejected=%d, want 0/1 (replica lost in the wipe)", m.Accepted, m.Rejected)
+	}
+}
+
+// TestColdRecoveryRebuildsViaReplication drives the issue's cold-path
+// contract end to end: a cold-recovered server re-enters the replica
+// set only through dynamic replication, after which it serves again.
+func TestColdRecoveryRebuildsViaReplication(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200) // one 3600 Mb video on both servers
+	cfg := Config{
+		ServerBandwidth: []float64{6, 6},
+		ViewRate:        3,
+		Replication:     ReplicationConfig{Enabled: true},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0, 1}}, []workload.Request{
+		{Arrival: 30, Video: 0},   // → server 1 (server 0 wiped)
+		{Arrival: 31, Video: 0},   // → server 1, now full
+		{Arrival: 32, Video: 0},   // rejected → replication to wiped server 0
+		{Arrival: 2500, Video: 0}, // replica rebuilt: → server 0
+	})
+	if err := e.ScheduleFailure(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleRecovery(20, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 3000)
+	if m.ReplicationsStarted != 1 || m.ReplicationsCompleted != 1 {
+		t.Fatalf("replications started=%d completed=%d, want 1/1",
+			m.ReplicationsStarted, m.ReplicationsCompleted)
+	}
+	if m.Accepted != 3 || m.Rejected != 1 {
+		t.Fatalf("accepted=%d rejected=%d, want 3/1", m.Accepted, m.Rejected)
+	}
+}
+
+func TestRetryQueueAdmitsWhenSlotFrees(t *testing.T) {
+	cat := fixedCatalog(t, 1, 30) // short 90 Mb videos: slots free quickly
+	cfg := Config{
+		ServerBandwidth: []float64{6},
+		ViewRate:        3,
+		Retry:           RetryConfig{Enabled: true, Backoff: 10},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},
+		{Arrival: 1, Video: 0},
+		{Arrival: 2, Video: 0}, // both slots taken: queued, admitted ≈ t=32
+	})
+	m := run(t, e, 2000)
+	if m.RetriesQueued != 1 || m.RetriedAdmissions != 1 || m.Reneged != 0 {
+		t.Fatalf("queued=%d retried=%d reneged=%d, want 1/1/0",
+			m.RetriesQueued, m.RetriedAdmissions, m.Reneged)
+	}
+	if m.Accepted != 3 || m.Rejected != 0 || m.Completions != 3 {
+		t.Fatalf("accepted=%d rejected=%d completions=%d", m.Accepted, m.Rejected, m.Completions)
+	}
+}
+
+func TestRetryQueueReneges(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200) // long videos: slots stay occupied
+	cfg := Config{
+		ServerBandwidth: []float64{6},
+		ViewRate:        3,
+		Retry:           RetryConfig{Enabled: true, Patience: 100, Backoff: 10},
+	}
+	obs := newFinishObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},
+		{Arrival: 1, Video: 0},
+		{Arrival: 2, Video: 0}, // queued; patience runs out at t=102
+	})
+	e.SetObserver(obs)
+	m := run(t, e, 2000)
+	if m.RetriesQueued != 1 || m.RetriedAdmissions != 0 || m.Reneged != 1 {
+		t.Fatalf("queued=%d retried=%d reneged=%d, want 1/0/1",
+			m.RetriesQueued, m.RetriedAdmissions, m.Reneged)
+	}
+	if m.Rejected != 0 {
+		t.Fatalf("Rejected = %d, want 0 (the loss is accounted as reneging)", m.Rejected)
+	}
+	if obs.rejects != 1 {
+		t.Errorf("observer saw %d rejects, want 1 (reneging notifies OnReject)", obs.rejects)
+	}
+}
+
+func TestRetryQueueBoundOverflowRejects(t *testing.T) {
+	cat := fixedCatalog(t, 1, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{6},
+		ViewRate:        3,
+		Retry:           RetryConfig{Enabled: true, MaxQueue: 1, Patience: 50, Backoff: 10},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}}, []workload.Request{
+		{Arrival: 0, Video: 0},
+		{Arrival: 1, Video: 0},
+		{Arrival: 2, Video: 0}, // queued (fills the bound)
+		{Arrival: 3, Video: 0}, // overflow: rejected up front
+	})
+	m := run(t, e, 2000)
+	if m.RetriesQueued != 1 || m.Rejected != 1 || m.Reneged != 1 {
+		t.Fatalf("queued=%d rejected=%d reneged=%d, want 1/1/1",
+			m.RetriesQueued, m.Rejected, m.Reneged)
+	}
+}
+
+// parkScenario: stream A (video 0, server 0 only) builds workahead
+// until server 0 fails at t=50 with no rescue target; degraded-mode
+// playback parks it with 150 Mb (50 s) of buffered data.
+func parkScenario(t *testing.T) (*Engine, *finishObserver) {
+	t.Helper()
+	cat := fixedCatalog(t, 2, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{6, 6},
+		ViewRate:        3,
+		BufferCapacity:  300,
+		Workahead:       true,
+		Degraded:        DegradedConfig{Enabled: true, RetryInterval: 5},
+	}
+	obs := newFinishObserver()
+	e := newTestEngine(t, cfg, cat, [][]int{{0}, {1}}, []workload.Request{
+		{Arrival: 0, Video: 0},   // A → server 0, parked at t=50
+		{Arrival: 0.5, Video: 1}, // → server 1
+		{Arrival: 1, Video: 1},   // → server 1, now full
+	})
+	e.SetObserver(obs)
+	if err := e.ScheduleFailure(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	return e, obs
+}
+
+func TestDegradedParkGlitchesWhenBufferDries(t *testing.T) {
+	e, _ := parkScenario(t)
+	// No recovery: A's 150 Mb buffer drains at b_view=3 and runs dry at
+	// t=100 with nowhere to reconnect.
+	m := run(t, e, 2000)
+	if m.DegradedParked != 1 || m.DegradedResumed != 0 || m.DegradedGlitches != 1 {
+		t.Fatalf("parked=%d resumed=%d glitches=%d, want 1/0/1",
+			m.DegradedParked, m.DegradedResumed, m.DegradedGlitches)
+	}
+	if m.DroppedStreams != 1 || m.Completions != 2 {
+		t.Fatalf("dropped=%d completions=%d, want 1/2", m.DroppedStreams, m.Completions)
+	}
+	// A delivered exactly what it received before the failure: 50 s at
+	// the full 6 Mb/s (minimum flow + workahead).
+	want := 2*3600.0 + 300
+	if !approx(m.DeliveredBytes, want, 1e-6) {
+		t.Errorf("DeliveredBytes = %v, want %v", m.DeliveredBytes, want)
+	}
+}
+
+func TestDegradedParkResumesAfterRecovery(t *testing.T) {
+	e, obs := parkScenario(t)
+	if err := e.ScheduleRecovery(80, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 2000)
+	if m.DegradedParked != 1 || m.DegradedResumed != 1 || m.DegradedGlitches != 0 {
+		t.Fatalf("parked=%d resumed=%d glitches=%d, want 1/1/0",
+			m.DegradedParked, m.DegradedResumed, m.DegradedGlitches)
+	}
+	if m.DroppedStreams != 0 || m.Completions != 3 {
+		t.Fatalf("dropped=%d completions=%d, want 0/3", m.DroppedStreams, m.Completions)
+	}
+	if !approx(m.DeliveredBytes, 3*3600, 1e-6) {
+		t.Errorf("DeliveredBytes = %v, want full delivery", m.DeliveredBytes)
+	}
+	if _, ok := obs.finishes[1]; !ok {
+		t.Error("parked stream never finished after readmission")
+	}
+}

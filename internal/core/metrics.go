@@ -48,12 +48,31 @@ type Metrics struct {
 	ReplicationsStarted   int64   // copy jobs begun
 	ReplicationsCompleted int64   // replicas installed
 	ReplicationsAborted   int64   // copies cancelled by failures
+	ReplicationsDeferred  int64   // copy starts skipped (in-flight dup, no source, or no target); the next rejection retries
 	ReplicatedMb          float64 // replica bytes moved
 
 	// Failure accounting.
 	Failures       int64 // server failure events
 	RescuedStreams int64 // streams migrated off a failing server
 	DroppedStreams int64 // streams lost because no rescue target existed
+
+	// Recovery accounting.
+	Recoveries     int64 // servers rejoining the cluster
+	ColdRecoveries int64 // recoveries with storage wiped (replicas lost)
+
+	// Admission retry-queue accounting. Every queued request either
+	// gets admitted eventually or reneges, so
+	// RetriesQueued == RetriedAdmissions + Reneged once a run drains.
+	RetriesQueued     int64 // rejected arrivals parked in the retry queue
+	RetriedAdmissions int64 // queued requests admitted on a later attempt
+	Reneged           int64 // queued requests whose patience expired
+
+	// Degraded-mode playback accounting. A parking episode ends in a
+	// readmission or a buffer-dry glitch, so
+	// DegradedParked == DegradedResumed + DegradedGlitches after drain.
+	DegradedParked   int64 // streams parked at failure, playing from buffer
+	DegradedResumed  int64 // parked streams readmitted to a server
+	DegradedGlitches int64 // parked streams whose buffer ran dry (dropped)
 }
 
 // Utilization returns delivered load as a fraction of cluster capacity
@@ -82,7 +101,13 @@ type Observer interface {
 	OnReject(t float64, video int)
 	OnMigrate(t float64, reqID int64, video, from, to int, rescue bool)
 	OnFinish(t float64, reqID int64, video, server int)
-	OnFailure(t float64, server int, rescued, dropped int)
+	// OnFailure reports a server failure: rescued streams migrated away,
+	// dropped streams were lost, parked streams entered degraded-mode
+	// playback from their client buffers.
+	OnFailure(t float64, server int, rescued, dropped, parked int)
+	// OnRecovery reports a failed server rejoining; cold means its
+	// storage was wiped and its replicas must be rebuilt.
+	OnRecovery(t float64, server int, cold bool)
 	// OnReplicate reports a dynamic replica of video installed on
 	// server `to`, copied from server `from`.
 	OnReplicate(t float64, video, from, to int)

@@ -99,7 +99,10 @@ func (e *Engine) holds(v, s int) bool {
 // silent (the next rejection will retry).
 func (e *Engine) startReplication(v int32, t float64) {
 	if e.copying[v] {
-		return // a copy of this video is already in flight
+		// A copy of this video is already in flight; this rejection adds
+		// no new replica but the deferral is accounted, not silent.
+		e.metrics.ReplicationsDeferred++
+		return
 	}
 	// Source: a live holder with copy capacity, least busy first.
 	var src *server
@@ -113,6 +116,7 @@ func (e *Engine) startReplication(v int32, t float64) {
 		}
 	}
 	if src == nil {
+		e.metrics.ReplicationsDeferred++ // no live holder can source a copy
 		return
 	}
 	// Target: a live non-holder with storage room, least loaded first.
@@ -130,6 +134,7 @@ func (e *Engine) startReplication(v int32, t float64) {
 		}
 	}
 	if dst == nil {
+		e.metrics.ReplicationsDeferred++ // no eligible target with room
 		return
 	}
 	src.syncAll(t)
@@ -165,8 +170,12 @@ func (e *Engine) storageCap(s int) float64 {
 }
 
 // storageUsed returns server s's storage consumption: the static layout
-// plus runtime replicas.
+// plus runtime replicas, unless a cold recovery wiped the server — then
+// only replicas installed since the wipe count.
 func (e *Engine) storageUsed(s int) float64 {
+	if e.staticWiped != nil && e.staticWiped[s] {
+		return e.extraUsed[s]
+	}
 	return e.layout.Used(s) + e.extraUsed[s]
 }
 

@@ -92,6 +92,35 @@ func TestReplicationDeduplicates(t *testing.T) {
 	if m.ReplicationsStarted != 1 {
 		t.Errorf("ReplicationsStarted = %d, want 1 (dedup)", m.ReplicationsStarted)
 	}
+	// The second rejection found the copy in flight: a deferral, not a
+	// silently swallowed retry.
+	if m.ReplicationsDeferred != 1 {
+		t.Errorf("ReplicationsDeferred = %d, want 1", m.ReplicationsDeferred)
+	}
+}
+
+func TestReplicationDeferredWithoutSource(t *testing.T) {
+	// Server 0 is video 0's only holder; failing it leaves rejections
+	// for video 0 with no live source to copy from.
+	cat := fixedCatalog(t, 2, 1200)
+	cfg := Config{
+		ServerBandwidth: []float64{7, 7},
+		ViewRate:        3,
+		Replication:     ReplicationConfig{Enabled: true},
+	}
+	e := newTestEngine(t, cfg, cat, [][]int{{0}, {1}}, []workload.Request{
+		{Arrival: 200, Video: 0}, // holder dead: rejected, and no source to copy from
+	})
+	if err := e.ScheduleFailure(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, e, 6000)
+	if m.Rejected != 1 || m.ReplicationsStarted != 0 {
+		t.Fatalf("rejected=%d started=%d, want 1/0", m.Rejected, m.ReplicationsStarted)
+	}
+	if m.ReplicationsDeferred != 1 {
+		t.Errorf("ReplicationsDeferred = %d, want 1 (no live source)", m.ReplicationsDeferred)
+	}
 }
 
 func TestReplicationRespectsStorage(t *testing.T) {
@@ -112,6 +141,9 @@ func TestReplicationRespectsStorage(t *testing.T) {
 	m := run(t, e, 6000)
 	if m.ReplicationsStarted != 0 {
 		t.Errorf("ReplicationsStarted = %d, want 0 (no storage room)", m.ReplicationsStarted)
+	}
+	if m.ReplicationsDeferred != 1 {
+		t.Errorf("ReplicationsDeferred = %d, want 1 (no target with room)", m.ReplicationsDeferred)
 	}
 }
 

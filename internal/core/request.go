@@ -61,6 +61,13 @@ type request struct {
 	// on the target server but receives no data until this time.
 	suspendedUntil float64
 
+	// parked marks a stream in degraded-mode playback: detached from
+	// every server after a failure, draining its client buffer while it
+	// retries reconnection. parkVer lazily invalidates scheduled park
+	// ticks the same way server.version invalidates wakes.
+	parked  bool
+	parkVer uint64
+
 	// slot is the request's index within its server's active slice,
 	// maintained for O(1) removal.
 	slot int32

@@ -247,6 +247,67 @@ func TestFailoverTiny(t *testing.T) {
 	}
 }
 
+func TestFaultSweepTiny(t *testing.T) {
+	out, err := FaultSweep(semicont.SmallSystem(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Figures) != 3 {
+		t.Fatalf("fault-sweep has %d figures, want denial + drop + glitch", len(out.Figures))
+	}
+	allocs := len(semicont.AllocatorNames())
+	for _, fig := range out.Figures {
+		if len(fig.Series) != allocs {
+			t.Fatalf("%s has %d series, want one per allocator (%d)", fig.ID, len(fig.Series), allocs)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 5 {
+				t.Errorf("%s/%s has %d points, want 5", fig.ID, s.Name, len(s.Points))
+			}
+		}
+	}
+	// The shortest MTBF injects real churn even at tiny scale.
+	if p := out.Figures[0].Series[0].Points[0]; p.Mean <= 0 {
+		t.Errorf("no denial under heavy churn (mtbf=%g): %v", p.X, p.Mean)
+	}
+}
+
+// TestFaultSweepEFTFBeatsEvenSplit pins the experiment's headline
+// comparison: EFTF front-loads workahead into the emptiest client
+// buffers, so streams parked by a failure survive longer outages than
+// under even-split — summed over the MTBF grid, its glitch rate must be
+// strictly lower, and its drop rate no worse. Scaled down from the
+// registry run but long enough for the effect to dominate noise.
+func TestFaultSweepEFTFBeatsEvenSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour fault sweep skipped in -short mode")
+	}
+	out, err := FaultSweep(semicont.SmallSystem(), Options{HorizonHours: 20, Trials: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(fig Figure, name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				total := 0.0
+				for _, p := range s.Points {
+					total += p.Mean
+				}
+				return total
+			}
+		}
+		t.Fatalf("%s: no series %q", fig.ID, name)
+		return 0
+	}
+	drops, glitches := out.Figures[1], out.Figures[2]
+	if eftf, even := sum(glitches, "minflow-eftf"), sum(glitches, "minflow-evensplit"); eftf >= even {
+		t.Errorf("eftf glitch rate %v not below evensplit %v", eftf, even)
+	}
+	if eftf, even := sum(drops, "minflow-eftf"), sum(drops, "minflow-evensplit"); eftf > even+1e-3 {
+		t.Errorf("eftf drop rate %v worse than evensplit %v", eftf, even)
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	opts := tinyOpts()
 	var lines int

@@ -47,6 +47,7 @@ func Registry() []Entry {
 		{"chain-small", "Ablation: migration chain length, small system", bind(ChainLength, small)},
 		{"switch-small", "Ablation: migration switch delay, small system", bind(SwitchDelay, small)},
 		{"fail-small", "Fault tolerance: failure rescue via DRM, small system", bind(Failover, small)},
+		{"fault-sweep-small", "Fault tolerance: denial/drop/glitch rates vs MTBF under server churn, small system", bind(FaultSweep, small)},
 	}
 }
 

@@ -1,0 +1,180 @@
+// Package faults models server failure and recovery for the cluster
+// simulation. It turns a fault specification — a stochastic process
+// (exponential MTBF/MTTR per server) or a scripted trace — into a
+// deterministic, pre-compiled sequence of engine events.
+//
+// Determinism is the package's contract: the stochastic process draws
+// every variate up front from per-server streams derived with the
+// repository's stream-splitting discipline (rng.DeriveSeed), so the
+// compiled schedule depends only on (config, cluster size, horizon,
+// seed) — never on event interleaving or GOMAXPROCS.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"semicont/internal/rng"
+)
+
+// seedLabel decouples fault draws from every other random stream
+// ("fault" in ASCII).
+const seedLabel uint64 = 0x6661756c74
+
+// Kind values for scripted trace events.
+const (
+	KindFail    = "fail"
+	KindRecover = "recover"
+)
+
+// Event is one scripted fault event. Times are in simulated hours from
+// the start of the run; Cold is only meaningful on a recovery and marks
+// the server's storage as wiped (its replicas are lost and must be
+// rebuilt through dynamic replication).
+type Event struct {
+	AtHours float64 `json:"at_hours"`
+	Server  int     `json:"server"`
+	Kind    string  `json:"kind"`
+	Cold    bool    `json:"cold,omitempty"`
+}
+
+// Config specifies the fault model for one run. The zero value disables
+// faults entirely. The stochastic process and a scripted trace are
+// mutually exclusive: mixing the two on one cluster could interleave
+// fail/recover events out of order for a server.
+type Config struct {
+	// MTBFHours is each server's mean time between failures (exponential),
+	// in simulated hours. Zero disables the stochastic process.
+	MTBFHours float64
+
+	// MTTRHours is each server's mean time to recovery (exponential), in
+	// simulated hours. Required positive when MTBFHours > 0.
+	MTTRHours float64
+
+	// Cold marks stochastic recoveries as cold: the server rejoins with
+	// its storage wiped. Warm (default) recoveries keep replicas intact.
+	Cold bool
+
+	// Trace is a scripted event sequence, validated by Validate and used
+	// instead of the stochastic process.
+	Trace []Event
+}
+
+// Enabled reports whether the configuration injects any faults.
+func (c Config) Enabled() bool { return c.MTBFHours > 0 || len(c.Trace) > 0 }
+
+// Validate reports configuration errors for a cluster of numServers.
+func (c Config) Validate(numServers int) error {
+	if math.IsNaN(c.MTBFHours) || math.IsInf(c.MTBFHours, 0) || c.MTBFHours < 0 {
+		return fmt.Errorf("faults: MTBFHours %g must be finite and non-negative", c.MTBFHours)
+	}
+	if math.IsNaN(c.MTTRHours) || math.IsInf(c.MTTRHours, 0) || c.MTTRHours < 0 {
+		return fmt.Errorf("faults: MTTRHours %g must be finite and non-negative", c.MTTRHours)
+	}
+	if c.MTBFHours > 0 && c.MTTRHours <= 0 {
+		return fmt.Errorf("faults: MTBFHours %g requires a positive MTTRHours", c.MTBFHours)
+	}
+	if c.MTBFHours > 0 && len(c.Trace) > 0 {
+		return fmt.Errorf("faults: stochastic process (MTBFHours) and scripted Trace are mutually exclusive")
+	}
+	return validateTrace(c.Trace, numServers)
+}
+
+// validateTrace checks a scripted event sequence: global time order,
+// in-range servers, known kinds, and per-server fail/recover
+// alternation starting from the up state.
+func validateTrace(trace []Event, numServers int) error {
+	down := make(map[int]bool, numServers)
+	prev := math.Inf(-1)
+	for i, ev := range trace {
+		if math.IsNaN(ev.AtHours) || math.IsInf(ev.AtHours, 0) || ev.AtHours < 0 {
+			return fmt.Errorf("faults: trace[%d] time %g must be finite and non-negative", i, ev.AtHours)
+		}
+		if ev.AtHours < prev {
+			return fmt.Errorf("faults: trace[%d] time %g before preceding event at %g", i, ev.AtHours, prev)
+		}
+		prev = ev.AtHours
+		if ev.Server < 0 || ev.Server >= numServers {
+			return fmt.Errorf("faults: trace[%d] server %d outside cluster of %d", i, ev.Server, numServers)
+		}
+		switch ev.Kind {
+		case KindFail:
+			if ev.Cold {
+				return fmt.Errorf("faults: trace[%d] marks a failure cold (cold applies to recoveries)", i)
+			}
+			if down[ev.Server] {
+				return fmt.Errorf("faults: trace[%d] fails server %d, which is already down", i, ev.Server)
+			}
+			down[ev.Server] = true
+		case KindRecover:
+			if !down[ev.Server] {
+				return fmt.Errorf("faults: trace[%d] recovers server %d, which is not down", i, ev.Server)
+			}
+			down[ev.Server] = false
+		default:
+			return fmt.Errorf("faults: trace[%d] has unknown kind %q (want %q or %q)", i, ev.Kind, KindFail, KindRecover)
+		}
+	}
+	return nil
+}
+
+// Compiled is one engine-ready fault event; At is in simulated seconds.
+type Compiled struct {
+	At      float64
+	Server  int
+	Recover bool
+	Cold    bool
+}
+
+// Compile validates cfg and expands it into the full, time-ordered
+// event schedule for a run of horizonHours. The stochastic process
+// draws one independent variate stream per server from seed; failures
+// are generated inside [0, horizon) and every failure is paired with
+// its recovery even when that recovery lands past the horizon (the
+// drain phase observes it).
+func Compile(cfg Config, numServers int, horizonHours float64, seed uint64) ([]Compiled, error) {
+	if err := cfg.Validate(numServers); err != nil {
+		return nil, err
+	}
+	var out []Compiled
+	for _, ev := range cfg.Trace {
+		out = append(out, Compiled{
+			At:      ev.AtHours * 3600,
+			Server:  ev.Server,
+			Recover: ev.Kind == KindRecover,
+			Cold:    ev.Cold,
+		})
+	}
+	if cfg.MTBFHours > 0 {
+		horizon := horizonHours * 3600
+		mtbf := cfg.MTBFHours * 3600
+		mttr := cfg.MTTRHours * 3600
+		for s := 0; s < numServers; s++ {
+			g := rng.New(rng.DeriveSeed(seed, seedLabel, uint64(s)))
+			t := 0.0
+			for {
+				t += g.ExpFloat64() * mtbf
+				if t >= horizon {
+					break
+				}
+				out = append(out, Compiled{At: t, Server: s})
+				t += g.ExpFloat64() * mttr
+				out = append(out, Compiled{At: t, Server: s, Recover: true, Cold: cfg.Cold})
+			}
+		}
+	}
+	// Per-server sequences are already ordered; the stable sort merges
+	// them deterministically (ties resolved by server id, then original
+	// order, so a zero-length downtime keeps fail before recover).
+	slices.SortStableFunc(out, func(a, b Compiled) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		}
+		return a.Server - b.Server
+	})
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package faults
+
+import "testing"
+
+// FuzzParseTrace fuzzes the trace parser's contract: it must never
+// panic, and any trace it accepts must compile cleanly against a
+// cluster large enough for its server ids — compilation is where the
+// engine's scheduling preconditions (time order, per-server fail and
+// recover alternation) are consumed, so a parse-then-compile gap would
+// surface as an engine error at run time.
+func FuzzParseTrace(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"at_hours": 0.5, "server": 2, "kind": "fail"}]`))
+	f.Add([]byte(`[
+		{"at_hours": 0.5, "server": 0, "kind": "fail"},
+		{"at_hours": 1.0, "server": 0, "kind": "recover", "cold": true},
+		{"at_hours": 1.0, "server": 1, "kind": "fail"}
+	]`))
+	f.Add([]byte(`{"not": "an array"}`))
+	f.Add([]byte(`[{"at_hours": 1e308, "server": 9999999, "kind": "recover"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := ParseTrace(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		servers := 1
+		for _, ev := range trace {
+			if ev.Server >= servers {
+				servers = ev.Server + 1
+			}
+		}
+		if _, err := Compile(Config{Trace: trace}, servers, 1, 1); err != nil {
+			t.Fatalf("parsed trace failed to compile: %v\ntrace: %+v", err, trace)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Trace files are JSON arrays of events:
+//
+//	[
+//	  {"at_hours": 0.5, "server": 2, "kind": "fail"},
+//	  {"at_hours": 1.0, "server": 2, "kind": "recover", "cold": true}
+//	]
+//
+// ParseTrace is strict: unknown fields, trailing data, non-finite
+// times, and out-of-order or non-alternating sequences are errors, so a
+// trace that parses is guaranteed to compile against any cluster large
+// enough for its server ids.
+
+// ParseTrace decodes and validates a scripted fault trace. Validation
+// uses the smallest cluster containing every referenced server, so the
+// caller's Config.Validate still checks ids against the real cluster.
+func ParseTrace(data []byte) ([]Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var trace []Event
+	if err := dec.Decode(&trace); err != nil {
+		return nil, fmt.Errorf("faults: parse trace: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("faults: trace has trailing data after the event array")
+	}
+	maxServer := -1
+	for _, ev := range trace {
+		if ev.Server > maxServer {
+			maxServer = ev.Server
+		}
+	}
+	if maxServer == math.MaxInt {
+		return nil, fmt.Errorf("faults: trace server id overflows")
+	}
+	if err := validateTrace(trace, maxServer+1); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}

@@ -23,6 +23,7 @@ const (
 	Finish
 	Failure
 	Replicate
+	Recovery
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +41,8 @@ func (k Kind) String() string {
 		return "failure"
 	case Replicate:
 		return "replicate"
+	case Recovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -56,6 +59,9 @@ type Event struct {
 	To      int // migration destination
 	ViaDRM  bool
 	Rescue  bool
+	// Cold marks a recovery that wiped the server's storage. Not part
+	// of the CSV dump (the column set predates the fault model).
+	Cold bool
 }
 
 // Recorder implements core.Observer.
@@ -70,6 +76,7 @@ type Recorder struct {
 	Migrations   int64
 	Finishes     int64
 	Failures     int64
+	Recoveries   int64
 	Replications int64
 }
 
@@ -106,10 +113,18 @@ func (r *Recorder) OnFinish(t float64, reqID int64, video, server int) {
 }
 
 // OnFailure implements core.Observer.
-func (r *Recorder) OnFailure(t float64, server int, rescued, dropped int) {
+func (r *Recorder) OnFailure(t float64, server int, rescued, dropped, parked int) {
 	r.Failures++
 	if !r.CountsOnly {
 		r.Events = append(r.Events, Event{Time: t, Kind: Failure, From: server})
+	}
+}
+
+// OnRecovery implements core.Observer.
+func (r *Recorder) OnRecovery(t float64, server int, cold bool) {
+	r.Recoveries++
+	if !r.CountsOnly {
+		r.Events = append(r.Events, Event{Time: t, Kind: Recovery, From: server, Cold: cold})
 	}
 }
 

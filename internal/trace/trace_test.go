@@ -11,17 +11,22 @@ func fill(r *Recorder) {
 	r.OnReject(3, 5)
 	r.OnMigrate(4, 10, 3, 0, 1, false)
 	r.OnFinish(5, 10, 3, 1)
-	r.OnFailure(6, 0, 2, 1)
+	r.OnFailure(6, 0, 2, 1, 0)
+	r.OnRecovery(7, 0, true)
 }
 
 func TestRecorderCounts(t *testing.T) {
 	var r Recorder
 	fill(&r)
-	if r.Admits != 2 || r.Rejects != 1 || r.Migrations != 1 || r.Finishes != 1 || r.Failures != 1 {
+	if r.Admits != 2 || r.Rejects != 1 || r.Migrations != 1 || r.Finishes != 1 || r.Failures != 1 || r.Recoveries != 1 {
 		t.Errorf("counts = %+v", r)
 	}
-	if len(r.Events) != 6 {
-		t.Errorf("recorded %d events, want 6", len(r.Events))
+	if len(r.Events) != 7 {
+		t.Errorf("recorded %d events, want 7", len(r.Events))
+	}
+	rec := r.Events[6]
+	if rec.Kind != Recovery || rec.From != 0 || !rec.Cold {
+		t.Errorf("recovery event = %+v", rec)
 	}
 }
 
@@ -52,7 +57,7 @@ func TestEventFields(t *testing.T) {
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{
 		Admit: "admit", Reject: "reject", Migrate: "migrate",
-		Finish: "finish", Failure: "failure",
+		Finish: "finish", Failure: "failure", Recovery: "recovery",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -73,8 +78,8 @@ func TestWriteCSV(t *testing.T) {
 	}
 	out := b.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 7 {
-		t.Fatalf("CSV has %d lines, want header + 6", len(lines))
+	if len(lines) != 8 {
+		t.Fatalf("CSV has %d lines, want header + 7", len(lines))
 	}
 	if lines[0] != "time,kind,request,video,from,to,via_drm,rescue" {
 		t.Errorf("header = %q", lines[0])

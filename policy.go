@@ -134,6 +134,28 @@ type Policy struct {
 	// PauseProb.
 	PatchWindowSec float64
 
+	// RetryQueue enables the admission retry queue: a rejected arrival
+	// waits (modeling client patience) and re-attempts admission every
+	// RetryBackoffSec seconds until RetryPatienceSec expires, at which
+	// point it reneges — accounted in Result.Reneged, separately from
+	// up-front rejections. RetryMaxQueue bounds the queue (0 = 64);
+	// overflow rejects immediately. Zero durations mean 10 s backoff
+	// and 300 s patience.
+	RetryQueue       bool
+	RetryMaxQueue    int
+	RetryPatienceSec float64
+	RetryBackoffSec  float64
+
+	// DegradedPlayback enables degraded-mode playback: a stream whose
+	// server fails with no rescue target keeps playing from its client
+	// staging buffer and retries reconnection every DegradedRetrySec
+	// seconds (0 = 5 s); only when the buffer runs dry does the viewer
+	// see a glitch and the stream count as dropped. Meaningful only
+	// with client staging buffers (without buffered data streams drop
+	// immediately, as before).
+	DegradedPlayback bool
+	DegradedRetrySec float64
+
 	// PauseProb enables viewer interactivity: the probability that a
 	// viewing pauses once, at a uniformly random playback point, for a
 	// uniform duration in [MinPauseSec, MaxPauseSec]. The paper's EFTF
@@ -301,6 +323,14 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("semicont: negative PatchWindowSec %g", p.PatchWindowSec)
 	case p.PatchWindowSec > 0 && intermittent:
 		return fmt.Errorf("semicont: patching is incompatible with intermittent scheduling")
+	case p.RetryMaxQueue < 0:
+		return fmt.Errorf("semicont: negative RetryMaxQueue %d", p.RetryMaxQueue)
+	case !finite(p.RetryPatienceSec) || p.RetryPatienceSec < 0:
+		return fmt.Errorf("semicont: negative RetryPatienceSec %g", p.RetryPatienceSec)
+	case !finite(p.RetryBackoffSec) || p.RetryBackoffSec < 0:
+		return fmt.Errorf("semicont: negative RetryBackoffSec %g", p.RetryBackoffSec)
+	case !finite(p.DegradedRetrySec) || p.DegradedRetrySec < 0:
+		return fmt.Errorf("semicont: negative DegradedRetrySec %g", p.DegradedRetrySec)
 	case !finite(p.PauseProb) || p.PauseProb < 0 || p.PauseProb > 1:
 		return fmt.Errorf("semicont: PauseProb %g outside [0,1]", p.PauseProb)
 	case p.PatchWindowSec > 0 && p.PauseProb > 0:

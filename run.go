@@ -8,6 +8,7 @@ import (
 	"semicont/internal/audit"
 	"semicont/internal/catalog"
 	"semicont/internal/core"
+	"semicont/internal/faults"
 	"semicont/internal/placement"
 	"semicont/internal/rng"
 	"semicont/internal/stats"
@@ -31,6 +32,7 @@ const (
 	seedArrivals
 	seedClients
 	seedInteract
+	seedFaults
 )
 
 // Scenario is one fully specified simulation run.
@@ -55,9 +57,16 @@ type Scenario struct {
 	Seed uint64
 
 	// FailServer / FailAtHours optionally crash one server mid-run
-	// (FailAtHours > 0 enables).
+	// (FailAtHours > 0 enables). Mutually exclusive with Faults.
 	FailServer  int
 	FailAtHours float64
+
+	// Faults configures the fault process: stochastic failure/recovery
+	// churn (exponential MTBF/MTTR per server) or a scripted trace. The
+	// schedule is compiled up front from a seed stream split off
+	// Scenario.Seed, so runs stay bit-identical regardless of
+	// GOMAXPROCS. See internal/faults.
+	Faults faults.Config
 
 	// CheckInvariants enables per-event model assertions (slow; tests).
 	CheckInvariants bool
@@ -84,7 +93,8 @@ type Observer interface {
 	OnReject(t float64, video int)
 	OnMigrate(t float64, reqID int64, video, from, to int, rescue bool)
 	OnFinish(t float64, reqID int64, video, server int)
-	OnFailure(t float64, server int, rescued, dropped int)
+	OnFailure(t float64, server int, rescued, dropped, parked int)
+	OnRecovery(t float64, server int, cold bool)
 	OnReplicate(t float64, video, from, to int)
 }
 
@@ -112,6 +122,23 @@ type Result struct {
 	RescuedStreams int64
 	DroppedStreams int64
 
+	// Fault-process accounting.
+	Failures       int64
+	Recoveries     int64
+	ColdRecoveries int64
+
+	// Admission retry-queue accounting: queued rejected arrivals, how
+	// many were later admitted, and how many ran out of patience.
+	RetriesQueued     int64
+	RetriedAdmissions int64
+	Reneged           int64
+
+	// Degraded-mode playback accounting: streams parked at a failure to
+	// play from their client buffers, and how each episode ended.
+	DegradedParked   int64
+	DegradedResumed  int64
+	DegradedGlitches int64
+
 	// GlitchedStreams counts playback interruptions under the
 	// intermittent scheduler (always zero under minimum-flow).
 	GlitchedStreams int64
@@ -119,6 +146,8 @@ type Result struct {
 	// Dynamic replication accounting.
 	ReplicationsStarted   int64
 	ReplicationsCompleted int64
+	ReplicationsAborted   int64
+	ReplicationsDeferred  int64
 	ReplicatedMb          float64
 
 	// ViewerPauses counts interactivity pauses applied to live streams.
@@ -167,6 +196,12 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.FailAtHours > 0 && (sc.FailServer < 0 || sc.FailServer >= sc.System.NumServers) {
 		return fmt.Errorf("semicont: FailServer %d outside cluster of %d", sc.FailServer, sc.System.NumServers)
+	}
+	if err := sc.Faults.Validate(sc.System.NumServers); err != nil {
+		return fmt.Errorf("semicont: %w", err)
+	}
+	if sc.FailAtHours > 0 && sc.Faults.Enabled() {
+		return fmt.Errorf("semicont: FailAtHours and Faults are mutually exclusive (express the single failure as a trace)")
 	}
 	// Cross-checks the engine would otherwise reject after Validate has
 	// passed: a validated scenario must build and run.
@@ -254,6 +289,16 @@ func Run(sc Scenario) (*Result, error) {
 			MaxPause:  pol.MaxPauseSec,
 			Seed:      rng.DeriveSeed(sc.Seed, seedInteract),
 		},
+		Retry: core.RetryConfig{
+			Enabled:  pol.RetryQueue,
+			MaxQueue: pol.RetryMaxQueue,
+			Patience: pol.RetryPatienceSec,
+			Backoff:  pol.RetryBackoffSec,
+		},
+		Degraded: core.DegradedConfig{
+			Enabled:       pol.DegradedPlayback,
+			RetryInterval: pol.DegradedRetrySec,
+		},
 	}
 	if pol.Replicate {
 		cfg.ServerStorage = sys.capacities()
@@ -291,6 +336,23 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 	}
+	if sc.Faults.Enabled() {
+		sched, err := faults.Compile(sc.Faults, sys.NumServers, sc.HorizonHours,
+			rng.DeriveSeed(sc.Seed, seedFaults))
+		if err != nil {
+			return nil, err
+		}
+		for _, fe := range sched {
+			if fe.Recover {
+				err = eng.ScheduleRecovery(fe.At, fe.Server, fe.Cold)
+			} else {
+				err = eng.ScheduleFailure(fe.At, fe.Server)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	m, err := eng.Run(horizon)
 	if err != nil {
 		return nil, err
@@ -310,9 +372,20 @@ func Run(sc Scenario) (*Result, error) {
 		MaxChainUsed:          m.MaxChainUsed,
 		RescuedStreams:        m.RescuedStreams,
 		DroppedStreams:        m.DroppedStreams,
+		Failures:              m.Failures,
+		Recoveries:            m.Recoveries,
+		ColdRecoveries:        m.ColdRecoveries,
+		RetriesQueued:         m.RetriesQueued,
+		RetriedAdmissions:     m.RetriedAdmissions,
+		Reneged:               m.Reneged,
+		DegradedParked:        m.DegradedParked,
+		DegradedResumed:       m.DegradedResumed,
+		DegradedGlitches:      m.DegradedGlitches,
 		GlitchedStreams:       m.GlitchedStreams,
 		ReplicationsStarted:   m.ReplicationsStarted,
 		ReplicationsCompleted: m.ReplicationsCompleted,
+		ReplicationsAborted:   m.ReplicationsAborted,
+		ReplicationsDeferred:  m.ReplicationsDeferred,
 		ReplicatedMb:          m.ReplicatedMb,
 		ViewerPauses:          m.ViewerPauses,
 		PatchedJoins:          m.PatchedJoins,
@@ -359,8 +432,11 @@ func (a observerAdapter) OnMigrate(t float64, reqID int64, video, from, to int, 
 func (a observerAdapter) OnFinish(t float64, reqID int64, video, server int) {
 	a.o.OnFinish(t, reqID, video, server)
 }
-func (a observerAdapter) OnFailure(t float64, server int, rescued, dropped int) {
-	a.o.OnFailure(t, server, rescued, dropped)
+func (a observerAdapter) OnFailure(t float64, server int, rescued, dropped, parked int) {
+	a.o.OnFailure(t, server, rescued, dropped, parked)
+}
+func (a observerAdapter) OnRecovery(t float64, server int, cold bool) {
+	a.o.OnRecovery(t, server, cold)
 }
 func (a observerAdapter) OnReplicate(t float64, video, from, to int) {
 	a.o.OnReplicate(t, video, from, to)

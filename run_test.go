@@ -405,7 +405,7 @@ func TestPolicyValidateInteractivity(t *testing.T) {
 // fullObserver exercises every Observer callback through the public
 // API: a failing server with DRM rescue, replication, and rejections.
 type countingObserver struct {
-	admits, rejects, migrates, finishes, failures, replicates int
+	admits, rejects, migrates, finishes, failures, recoveries, replicates int
 }
 
 func (o *countingObserver) OnAdmit(t float64, id int64, v, s int, m bool) { o.admits++ }
@@ -414,7 +414,8 @@ func (o *countingObserver) OnMigrate(t float64, id int64, v, f, to int, r bool) 
 	o.migrates++
 }
 func (o *countingObserver) OnFinish(t float64, id int64, v, s int) { o.finishes++ }
-func (o *countingObserver) OnFailure(t float64, s, r, d int)       { o.failures++ }
+func (o *countingObserver) OnFailure(t float64, s, r, d, p int)    { o.failures++ }
+func (o *countingObserver) OnRecovery(t float64, s int, cold bool) { o.recoveries++ }
 func (o *countingObserver) OnReplicate(t float64, v, f, to int)    { o.replicates++ }
 
 func TestObserverAdapterFullSurface(t *testing.T) {
