@@ -9,6 +9,7 @@
 //	vodsim -system large -placement even -migration -staging 0.2 -theta -1
 //	vodsim -system small -policy P3 -fail-at 50 -fail-server 2
 //	vodsim -system small -policy P4 -trace events.csv -hours 2
+//	vodsim -system small -policy P4 -admission first-fit -planner direct-only
 package main
 
 import (
@@ -34,6 +35,10 @@ func main() {
 		spare     = flag.String("spare", "eftf", "workahead discipline: eftf, lftf, even-split")
 		alloc     = flag.String("alloc", "", "bandwidth allocator by registry name (see -list-allocators; overrides -spare/-intermittent)")
 		listAlloc = flag.Bool("list-allocators", false, "list registered bandwidth allocators and exit")
+		admission = flag.String("admission", "", "admission server selector by registry name (see -list-admissions; empty = least-loaded)")
+		planner   = flag.String("planner", "", "DRM migration planner by registry name (see -list-planners; requires -migration)")
+		listAdm   = flag.Bool("list-admissions", false, "list registered admission selectors and exit")
+		listPlan  = flag.Bool("list-planners", false, "list registered DRM planners and exit")
 		intermit  = flag.Bool("intermittent", false, "intermittent scheduling (pause full-buffer streams; risks glitches)")
 		guard     = flag.Float64("resume-guard", 0, "intermittent resume guard, seconds (0 = 30s default)")
 		replicate = flag.Bool("replicate", false, "dynamic replication on rejection")
@@ -70,6 +75,18 @@ func main() {
 		}
 		return
 	}
+	if *listAdm {
+		for _, name := range semicont.SelectorNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listPlan {
+		for _, name := range semicont.PlannerNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	sys, err := parseSystem(*system)
 	if err != nil {
@@ -86,8 +103,6 @@ func main() {
 		pol = semicont.Policy{
 			Name:            "custom",
 			Migration:       *migration,
-			MaxHops:         *maxHops,
-			MaxChain:        *maxChain,
 			SwitchDelay:     *switchDel,
 			StagingFrac:     *staging,
 			ReceiveCap:      *recvCap,
@@ -100,6 +115,12 @@ func main() {
 		}
 		if *pauseProb > 0 {
 			pol.MinPauseSec, pol.MaxPauseSec = *pauseMin, *pauseMax
+		}
+		if *migration {
+			// MaxHops/MaxChain are meaningful only with DRM; setting them
+			// without -migration is a validation error rather than a
+			// silent no-op, so the flag defaults must not leak through.
+			pol.MaxHops, pol.MaxChain = *maxHops, *maxChain
 		}
 		switch *spare {
 		case "eftf":
@@ -124,6 +145,12 @@ func main() {
 	}
 	if *alloc != "" {
 		pol.Allocator = *alloc
+	}
+	if *admission != "" {
+		pol.Selector = *admission
+	}
+	if *planner != "" {
+		pol.Planner = *planner
 	}
 	// Fault-tolerance knobs compose with both custom and paper policies.
 	pol.RetryQueue = pol.RetryQueue || *retryQ
@@ -227,6 +254,11 @@ func parsePolicy(name string) (semicont.Policy, error) {
 func printResult(sc semicont.Scenario, r *semicont.Result) {
 	fmt.Printf("system=%s policy=%s theta=%g hours=%g seed=%d\n",
 		sc.System.Name, sc.Policy.Name, sc.Theta, sc.HorizonHours, sc.Seed)
+	if sc.Policy.Selector != "" || sc.Policy.Planner != "" {
+		fmt.Printf("controller         admission=%s planner=%s\n",
+			orName(sc.Policy.Selector, semicont.SelectorLeastLoaded),
+			orName(sc.Policy.Planner, semicont.PlannerChainDFS))
+	}
 	fmt.Printf("arrival rate       %.4f req/s (offered load = %.0f%% of %g Mb/s)\n",
 		r.ArrivalRate, 100*orOne(sc.LoadFactor), r.TotalBandwidthMbps)
 	fmt.Printf("utilization        %.4f\n", r.Utilization)
@@ -279,6 +311,13 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 	if sc.Audit {
 		fmt.Printf("audit              %d events checked, 0 violations\n", r.AuditedEvents)
 	}
+}
+
+func orName(name, def string) string {
+	if name == "" {
+		return def
+	}
+	return name
 }
 
 func orOne(v float64) float64 {

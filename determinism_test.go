@@ -88,6 +88,39 @@ func TestFaultRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestSelectorsDeterministicAcrossGOMAXPROCS extends the parallel-trial
+// contract to every registered admission selector, random-feasible
+// included: its RNG derives from SelectorSeed (itself split from the
+// scenario seed), so the trial fan-out must not perturb the choice
+// stream. Each selector runs with DRM on so the planner seam is crossed
+// too, serially and with 8 workers, and must be bit-identical.
+func TestSelectorsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for _, sel := range SelectorNames() {
+		sc := quickScenario()
+		sc.HorizonHours = 2
+		sc.Policy.Selector = sel
+		sc.Policy.Migration, sc.Policy.MaxHops, sc.Policy.MaxChain = true, 2, 2
+		run := func(procs int) *Aggregate {
+			t.Helper()
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			agg, err := RunTrials(sc, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return agg
+		}
+		serial := run(1)
+		parallel := run(8)
+		for i := range serial.Results {
+			if *serial.Results[i] != *parallel.Results[i] {
+				t.Errorf("selector %s trial %d diverged across GOMAXPROCS:\nserial   %+v\nparallel %+v",
+					sel, i, serial.Results[i], parallel.Results[i])
+			}
+		}
+	}
+}
+
 // TestAuditedRunDeterministic extends the plain Run determinism check to
 // audited runs: the auditor keeps per-run state (replica maps, event
 // counters), and two runs of the same audited scenario must still agree

@@ -17,22 +17,29 @@ import (
 func FuzzScenarioValidate(f *testing.F) {
 	f.Add(5, 100.0, 50, 600.0, 1800.0, 2.2, 3.0,
 		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 0.271, 1.0, 0.0, 0, uint64(1),
-		0.0, 0.0, false, false, false)
+		0.0, 0.0, false, false, false, "", "")
 	f.Add(2, 30.0, 25, 300.0, 900.0, 2.0, 3.0,
 		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, -1.0, 1.2, 0.5, 1, uint64(7),
-		0.02, 0.01, true, true, true)
+		0.02, 0.01, true, true, true, "least-loaded", "")
 	f.Add(3, 45.0, 25, 300.0, 900.0, 2.0, 3.0,
 		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 1.0, 1.0, 0.0, 0, uint64(9),
-		0.05, 0.02, false, true, false)
+		0.05, 0.02, false, true, false, "most-headroom", "direct-only")
 	f.Add(4, 60.0, 30, 300.0, 900.0, 2.0, 3.0,
 		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, -1.5, 1.0, 0.0, 0, uint64(3),
-		-1.0, 0.5, false, false, true)
+		-1.0, 0.5, false, false, true, "nonsense", "nonsense")
+	// DRM + server churn + retry queue + a non-default controller pair in
+	// one seed: the selector seam is crossed by arrivals, retry
+	// re-attempts, and rescue reconnects all at once.
+	f.Add(4, 60.0, 20, 300.0, 900.0, 2.5, 3.0,
+		0.2, 0, true, 2, 2, false, false, 0.0, 0.0, 0.271, 1.2, 0.0, 0, uint64(11),
+		0.5, 0.1, true, true, true, "random-feasible", "chain-dfs")
 	f.Fuzz(func(t *testing.T,
 		numServers int, bw float64, numVideos int, minLen, maxLen, avgCopies, viewRate float64,
 		stagingFrac float64, spare int, migration bool, maxHops, maxChain int,
 		replicate, intermittent bool, patchWindow, pauseProb float64,
 		theta, load, failAt float64, failServer int, seed uint64,
-		mtbf, mttr float64, cold, retryQueue, degraded bool) {
+		mtbf, mttr float64, cold, retryQueue, degraded bool,
+		selector, planner string) {
 		sc := Scenario{
 			System: System{
 				Name:            "fuzz",
@@ -60,6 +67,8 @@ func FuzzScenarioValidate(f *testing.F) {
 				MaxPauseSec:      120,
 				RetryQueue:       retryQueue,
 				DegradedPlayback: degraded,
+				Selector:         selector,
+				Planner:          planner,
 			},
 			Theta:        theta,
 			HorizonHours: 1,

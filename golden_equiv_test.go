@@ -86,6 +86,16 @@ func goldenMatrix() []struct {
 		{Weight: 2, StagingFrac: 0, ReceiveCap: 0},
 	}}))
 
+	// Controller seam: non-default admission selectors and DRM planner.
+	// The default pair (least-loaded + chain-dfs) is pinned by every
+	// other cell; these pin the alternates, one of them audited so the
+	// admission-feasible tap rides the fixture too.
+	add("admission-firstfit", base(Policy{Name: "admission-firstfit", StagingFrac: 0.2, Selector: SelectorFirstFit}))
+	admRand := base(drm(Policy{Name: "admission-random", StagingFrac: 0.2, Selector: SelectorRandomFeasible}, 1, 1))
+	admRand.Audit = true
+	add("admission-random", admRand)
+	add("planner-direct", base(drm(Policy{Name: "planner-direct", StagingFrac: 0.2, Planner: PlannerDirectOnly}, UnlimitedHops, 2)))
+
 	// Failure rescue mid-run.
 	fail := base(drm(Policy{Name: "failover", StagingFrac: 0.2}, UnlimitedHops, 1))
 	fail.FailServer, fail.FailAtHours = 2, 1

@@ -11,6 +11,8 @@
 //   - EFTF: spare bandwidth is fed in earliest-projected-finish order,
 //     and no fuller-buffered later-finishing request is fed while an
 //     eligible earlier-finishing one still has headroom;
+//   - admission: the controller's chosen server could actually accept
+//     the stream it claimed to admit, and holds a replica of its video;
 //   - DRM: per-request hop budgets and per-admission chain lengths are
 //     respected, and every migration lands on a replica holder;
 //   - placement: every stream is served by a server that holds its
@@ -52,9 +54,9 @@ type Violation struct {
 	// Rule names the invariant: "bandwidth", "min-flow", "receive-cap",
 	// "workahead-off", "buffer-underrun", "buffer-overflow", "overrun",
 	// "slots", "failed-active", "copy-rate", "eftf-order", "eftf-feed",
-	// "intermittent-order", "intermittent-feed", "hops", "chain",
-	// "migration-target", "replica", "replica-dup", "storage",
-	// "fault-state", "failure-accounting", "accounting".
+	// "intermittent-order", "intermittent-feed", "admission-feasible",
+	// "hops", "chain", "migration-target", "replica", "replica-dup",
+	// "storage", "fault-state", "failure-accounting", "accounting".
 	Rule string
 
 	Time    float64 // simulation time of the violating event
@@ -338,6 +340,22 @@ func (a *Auditor) IntermittentOrder(t float64, server int32, grants []core.Inter
 			return a.fail("intermittent-feed", int(server), g.Request,
 				"fed %g Mb/s after a drier stream was paused", g.Rate)
 		}
+	}
+	return nil
+}
+
+// Admission implements core.AuditTap: the selector's feasibility claim.
+// A chosen server must have been able to accept the stream (the engine
+// reports its own re-check as feasible) and must hold a replica of the
+// video per the auditor's independent replica model.
+func (a *Auditor) Admission(t float64, video int32, server int32, viaDRM, feasible bool) error {
+	if !feasible {
+		return a.fail("admission-feasible", int(server), 0,
+			"selector chose a server that cannot accept video %d (viaDRM=%t)", video, viaDRM)
+	}
+	if v := int(video); v >= 0 && v < len(a.holders) && !a.holders[v][server] {
+		return a.fail("admission-feasible", int(server), 0,
+			"selector chose a server holding no replica of video %d", v)
 	}
 	return nil
 }

@@ -294,6 +294,33 @@ func TestMigrationViolations(t *testing.T) {
 	})
 }
 
+func TestAdmissionViolations(t *testing.T) {
+	t.Run("feasible holder passes", func(t *testing.T) {
+		a := testAuditor(t)
+		if err := a.Admission(10, 1, 1, false, true); err != nil {
+			t.Fatalf("legal admission flagged: %v", err)
+		}
+	})
+	t.Run("infeasible claim", func(t *testing.T) {
+		a := testAuditor(t)
+		wantRule(t, a.Admission(10, 1, 1, false, false), "admission-feasible")
+	})
+	t.Run("server holds no replica", func(t *testing.T) {
+		a := testAuditor(t)
+		// Video 0 lives on server 0 only.
+		wantRule(t, a.Admission(10, 0, 1, true, true), "admission-feasible")
+	})
+	t.Run("replication unlocks the holder check", func(t *testing.T) {
+		a := testAuditor(t)
+		if err := a.Replication(10, 0, 0, 1, 100); err != nil {
+			t.Fatalf("legal replication flagged: %v", err)
+		}
+		if err := a.Admission(11, 0, 1, false, true); err != nil {
+			t.Fatalf("post-replication admission flagged: %v", err)
+		}
+	})
+}
+
 func TestChainViolations(t *testing.T) {
 	a := testAuditor(t)
 	if err := a.Chain(10, 1); err != nil {

@@ -155,6 +155,13 @@ type AuditTap interface {
 	SpareOrder(t float64, server int32, discipline SpareDiscipline, grants []SpareGrant) error
 	// IntermittentOrder reports every intermittent allocation pass.
 	IntermittentOrder(t float64, server int32, grants []IntermittentGrant) error
+	// Admission reports the controller's server choice for one admitted
+	// stream (new arrival or retry-queue attempt): the selected server,
+	// whether DRM freed it, and the engine's own feasibility re-check
+	// of the choice at decision time — an auditor can fail a selector
+	// whose claimed-feasible pick could not actually accept the stream.
+	// Parked-stream reconnects are client-initiated and not reported.
+	Admission(t float64, video int32, server int32, viaDRM, feasible bool) error
 	// Migration reports one executed request move. hops is the
 	// request's lifetime count after this move.
 	Migration(t float64, req int64, video int32, from, to int32, hops int32, rescue bool) error

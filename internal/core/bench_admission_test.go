@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"semicont/internal/catalog"
+	"semicont/internal/placement"
+	"semicont/internal/rng"
+)
+
+// Admission micro-benchmarks: one Select call per iteration over a
+// cluster where every server holds the probed video, parameterized over
+// the holder count k. BENCH_admission.json at the repo root holds the
+// baseline recorded when the controller seam landed; the bar is zero
+// allocations per operation in steady state for every selector (the
+// random selector's candidate scratch is warmed before timing).
+
+// benchAdmissionKs are the replica-holder counts the admission benches
+// sweep — real layouts replicate a video on a handful of servers, not
+// the whole cluster, so the sweep stays small where allocators go big.
+var benchAdmissionKs = []int{4, 16, 64}
+
+// benchAdmissionEngine builds a full engine (real catalog, layout, and
+// server array) with k servers of 10 slots each, all holding video 0,
+// and per-server load active streams already attached. Unlike the bare
+// allocator benches this goes through NewEngine: selectors walk
+// e.holders and e.servers, which only the real constructor wires.
+func benchAdmissionEngine(b *testing.B, selector string, k, load int) *Engine {
+	b.Helper()
+	bview := 3.0
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: 1, MinLength: 1200, MaxLength: 1200, ViewRate: bview, Theta: 1,
+	}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	holders := make([]int, k)
+	bw := make([]float64, k)
+	for i := range holders {
+		holders[i] = i
+		bw[i] = bview * 10 // 10 slots
+	}
+	lay, err := placement.Manual(cat, [][]int{holders}, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{ServerBandwidth: bw, ViewRate: bview, Selector: selector}
+	e, err := NewEngine(cfg, cat, lay, &scriptSource{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := int64(1)
+	for _, s := range e.servers {
+		// Stagger the loads so least-loaded and most-headroom do real
+		// comparisons instead of riding the first-candidate fast path.
+		n := load + int(s.id)%2
+		if n > s.slots {
+			n = s.slots
+		}
+		for j := 0; j < n; j++ {
+			s.attach(&request{id: id, size: 3600, bufCap: 0, recvCap: 0})
+			id++
+		}
+	}
+	return e
+}
+
+// BenchmarkAdmissionSelect measures the hot admission path: all k
+// holders feasible, the selector scans every candidate and picks one.
+func BenchmarkAdmissionSelect(b *testing.B) {
+	for _, name := range SelectorNames() {
+		for _, k := range benchAdmissionKs {
+			b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+				e := benchAdmissionEngine(b, name, k, 5)
+				if benchSelect(e, 0, 0) == nil {
+					b.Fatal("hot cluster refused the probe")
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSelect(e, 0, 0)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAdmissionSelectSaturated is the 100%-load shape: every
+// holder is slot-full, so the scan completes without a pick (the
+// engine would then fall through to DRM planning or rejection).
+func BenchmarkAdmissionSelectSaturated(b *testing.B) {
+	for _, name := range SelectorNames() {
+		for _, k := range benchAdmissionKs {
+			b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+				e := benchAdmissionEngine(b, name, k, 10)
+				if benchSelect(e, 0, 0) != nil {
+					b.Fatal("saturated cluster admitted the probe")
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSelect(e, 0, 0)
+				}
+			})
+		}
+	}
+}

@@ -19,3 +19,9 @@ func benchAllocateWake(e *Engine, s *server) {
 func benchSpreadSpare(e *Engine, s *server, avail float64) {
 	e.spreadSpare(s, 0, avail)
 }
+
+// benchSelect runs one admission selection — the controller's candidate
+// scan — without the attach/accounting that a real admission performs.
+func benchSelect(e *Engine, v int, t float64) *server {
+	return e.selector().Select(e, v, t)
+}

@@ -157,6 +157,22 @@ type Config struct {
 	// registered policy may be named freely.
 	Allocator string
 
+	// Selector names the admission server-selection policy from the
+	// controller registry (see RegisterSelector). Empty selects
+	// SelectorLeastLoaded, the paper's Section 3.2 assignment rule.
+	Selector string
+
+	// Planner names the DRM move-planning policy from the controller
+	// registry (see RegisterPlanner). Empty selects PlannerChainDFS.
+	// Naming one while Migration is disabled is a validation error —
+	// a planner that can never run is a configuration contradiction.
+	Planner string
+
+	// SelectorSeed seeds randomized selectors (SelectorRandomFeasible);
+	// runs with equal seeds draw the same selection sequence.
+	// Deterministic selectors ignore it.
+	SelectorSeed uint64
+
 	// ClientClasses, when non-empty, makes the client population
 	// heterogeneous: each admitted request draws a class (seeded by
 	// ClientSeed) whose buffer and receive cap override BufferCapacity
@@ -368,6 +384,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: unknown spare discipline %d", uint8(c.Spare))
 	}
 	if err := c.validateAllocator(); err != nil {
+		return err
+	}
+	if err := c.validateController(); err != nil {
 		return err
 	}
 	if len(c.ServerStorage) > 0 && len(c.ServerStorage) != len(c.ServerBandwidth) {

@@ -99,6 +99,12 @@ type Engine struct {
 	// Config.AllocatorName (see allocator.go).
 	alloc BandwidthAllocator
 
+	// Controller policies: the admission server selector and the DRM
+	// planner, resolved from the registries by Config.SelectorName /
+	// Config.PlannerName (see controller.go).
+	sel   ServerSelector
+	planr MigrationPlanner
+
 	// Scratch reused across events to keep the hot path allocation-free.
 	// cand is the per-server candidate index the allocators feed through;
 	// its entries are pointer-free positions into a server's active
@@ -331,6 +337,9 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// handleArrival is event dispatch plus failure accounting; the
+// admission decision itself (selector, DRM planner, success accounting)
+// is the controller's, behind admit (controller.go).
 func (e *Engine) handleArrival(t float64) {
 	req := e.pending
 	e.primeArrival()
@@ -341,56 +350,22 @@ func (e *Engine) handleArrival(t float64) {
 	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
 		return
 	}
-	best, viaDRM := e.findAdmission(v, t)
-	if best == nil {
-		if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
-			e.enqueueRetry(v, t, bufCap, recvCap)
-		} else {
-			e.metrics.Rejected++
-			if e.obs != nil {
-				e.obs.OnReject(t, v)
-			}
-		}
-		if e.cfg.Replication.Enabled {
-			// The request is lost (or waiting), but copying the video to
-			// a fresh server serves the demand the rejection revealed.
-			e.startReplication(int32(v), t)
-		}
+	if e.admit(v, t, bufCap, recvCap) {
 		return
 	}
-
-	best.syncAll(t)
-	r := e.newRequest(v, t)
-	r.bufCap, r.recvCap = bufCap, recvCap
-	best.attach(r)
-	e.metrics.Accepted++
-	e.metrics.AcceptedBytes += r.size
-	if e.obs != nil {
-		e.obs.OnAdmit(t, r.id, v, int(best.id), viaDRM)
-	}
-	e.scheduleInteraction(r, t)
-	e.reschedule(best, t)
-}
-
-// findAdmission locates a server for a new stream of video v: the
-// least-loaded live replica holder with admission room, else a server
-// freed via dynamic request migration when configured. The bool
-// reports a DRM admission. Arrivals and retry-queue attempts share it.
-func (e *Engine) findAdmission(v int, t float64) (*server, bool) {
-	var best *server
-	for _, h := range e.holders(v) {
-		s := e.servers[h]
-		if e.cfg.Intermittent {
-			s.syncAll(t) // the admission test reads buffer levels
-		}
-		if e.canAccept(s, t) && (best == nil || s.load() < best.load()) {
-			best = s
+	if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
+		e.enqueueRetry(v, t, bufCap, recvCap)
+	} else {
+		e.metrics.Rejected++
+		if e.obs != nil {
+			e.obs.OnReject(t, v)
 		}
 	}
-	if best == nil && e.cfg.Migration.Enabled {
-		return e.admitViaMigration(int32(v), t)
+	if e.cfg.Replication.Enabled {
+		// The request is lost (or waiting), but copying the video to
+		// a fresh server serves the demand the rejection revealed.
+		e.startReplication(int32(v), t)
 	}
-	return best, false
 }
 
 // scheduleInteraction decides at admission whether this viewing pauses

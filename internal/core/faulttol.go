@@ -159,20 +159,9 @@ func (e *Engine) handleRetry(id int64, t float64) {
 		return
 	}
 	v := int(en.video)
-	if best, viaDRM := e.findAdmission(v, t); best != nil {
+	if e.admit(v, t, en.bufCap, en.recvCap) {
 		delete(e.retryQ, id)
-		best.syncAll(t)
-		r := e.newRequest(v, t)
-		r.bufCap, r.recvCap = en.bufCap, en.recvCap
-		best.attach(r)
-		e.metrics.Accepted++
 		e.metrics.RetriedAdmissions++
-		e.metrics.AcceptedBytes += r.size
-		if e.obs != nil {
-			e.obs.OnAdmit(t, r.id, v, int(best.id), viaDRM)
-		}
-		e.scheduleInteraction(r, t)
-		e.reschedule(best, t)
 		return
 	}
 	if t+timeEps >= en.deadline {
@@ -217,10 +206,10 @@ func (e *Engine) nextParkTick(r *request, t float64) {
 }
 
 // handleParkTick is a parked stream's reconnect attempt. Readmission is
-// client-initiated (the stream reconnects to any live replica holder
-// with room — no migration machinery, no hops charge), tried before the
-// dryness check so a stream reconnecting exactly at buffer exhaustion
-// resumes seamlessly.
+// client-initiated (the stream reconnects through the admission
+// selector — no migration machinery, no hops charge, no DRM fallback),
+// tried before the dryness check so a stream reconnecting exactly at
+// buffer exhaustion resumes seamlessly.
 func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 	r, ok := e.parked[id]
 	if !ok || ver != r.parkVer {
@@ -228,16 +217,7 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 	}
 	r.syncTo(t)
 	bview := e.cfg.ViewRate
-	var best *server
-	for _, h := range e.holders(int(r.video)) {
-		s := e.servers[h]
-		if e.cfg.Intermittent {
-			s.syncAll(t) // the admission test reads buffer levels
-		}
-		if e.canAccept(s, t) && (best == nil || s.load() < best.load()) {
-			best = s
-		}
-	}
+	best := e.selector().Select(e, int(r.video), t)
 	if best != nil {
 		d := e.cfg.Migration.SwitchDelay
 		if d <= 0 || r.bufferAt(t, bview) >= d*bview-dataEps {

@@ -308,6 +308,68 @@ func TestFaultSweepEFTFBeatsEvenSplit(t *testing.T) {
 	}
 }
 
+func TestAdmissionSweepTiny(t *testing.T) {
+	out, err := AdmissionSweep(semicont.SmallSystem(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Figures) != 2 {
+		t.Fatalf("admission-sweep has %d figures, want denial + utilization", len(out.Figures))
+	}
+	sels := len(semicont.SelectorNames())
+	for _, fig := range out.Figures {
+		if len(fig.Series) != sels {
+			t.Fatalf("%s has %d series, want one per selector (%d)", fig.ID, len(fig.Series), sels)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 5 {
+				t.Errorf("%s/%s has %d points, want 5", fig.ID, s.Name, len(s.Points))
+			}
+		}
+	}
+	// 130% offered load must overflow even at tiny scale.
+	den := out.Figures[0]
+	if p := den.Series[0].Points[len(den.Series[0].Points)-1]; p.Mean <= 0 {
+		t.Errorf("no denial at load=%g: %v", p.X, p.Mean)
+	}
+}
+
+// TestAdmissionSweepFirstFitDeniesMore pins the experiment's headline
+// ordering: at and past saturation, first-fit piles streams onto the
+// low-index holders and strands feasible slots elsewhere, so its denial
+// rate is at least least-loaded's, which balances every holder of a
+// video. Compared at load 1.0 and above, summed, with a small slack for
+// sampling noise. Scaled down from the registry run.
+func TestAdmissionSweepFirstFitDeniesMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour admission sweep skipped in -short mode")
+	}
+	out, err := AdmissionSweep(semicont.SmallSystem(), Options{HorizonHours: 20, Trials: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(fig Figure, name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				total := 0.0
+				for _, p := range s.Points {
+					if p.X >= 1.0 {
+						total += p.Mean
+					}
+				}
+				return total
+			}
+		}
+		t.Fatalf("%s: no series %q", fig.ID, name)
+		return 0
+	}
+	denial := out.Figures[0]
+	ff, ll := sum(denial, semicont.SelectorFirstFit), sum(denial, semicont.SelectorLeastLoaded)
+	if ff < ll-1e-3 {
+		t.Errorf("first-fit denial %v below least-loaded %v at load >= 1.0", ff, ll)
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	opts := tinyOpts()
 	var lines int

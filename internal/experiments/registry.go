@@ -48,6 +48,7 @@ func Registry() []Entry {
 		{"switch-small", "Ablation: migration switch delay, small system", bind(SwitchDelay, small)},
 		{"fail-small", "Fault tolerance: failure rescue via DRM, small system", bind(Failover, small)},
 		{"fault-sweep-small", "Fault tolerance: denial/drop/glitch rates vs MTBF under server churn, small system", bind(FaultSweep, small)},
+		{"admission-sweep-small", "Ablation: registered admission selectors vs offered load, small system", bind(AdmissionSweep, small)},
 	}
 }
 

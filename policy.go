@@ -61,8 +61,16 @@ type Policy struct {
 	PartialExtra       int
 
 	// Migration enables DRM. MaxHops bounds lifetime migrations per
-	// request (0 means the paper's default of 1; UnlimitedHops removes
-	// the bound). MaxChain bounds migrations per arrival (0 means 1).
+	// request (UnlimitedHops removes the bound); MaxChain bounds
+	// migrations per arrival (the paper's "migration chain length").
+	//
+	// Zero-value convention, by design: with Migration set, MaxHops=0
+	// and MaxChain=0 both mean "the paper's default of 1" — NOT "no
+	// migrations" — so the zero Policy plus Migration reproduces the
+	// paper. maxHops and maxChain are the only decoders of this
+	// convention; core.MigrationConfig receives the decoded values
+	// (there, 0 really means zero). Setting either field while
+	// Migration is false is a validation error, not a silent no-op.
 	Migration bool
 	MaxHops   int
 	MaxChain  int
@@ -125,6 +133,19 @@ type Policy struct {
 	// selected by their registered name, with Intermittent and Spare
 	// passed through untouched.
 	Allocator string
+
+	// Selector names the admission controller's server-selection policy
+	// by registry name (see SelectorNames). Empty means least-loaded,
+	// the paper's Section 3.2 assignment rule. All built-in selectors
+	// are deterministic given the scenario seed (random-feasible draws
+	// from a split seed stream).
+	Selector string
+
+	// Planner names the DRM move-planning policy by registry name (see
+	// PlannerNames). Empty means chain-dfs, the iterative-deepening
+	// chain search. Requires Migration: naming a planner that can never
+	// run is a validation error.
+	Planner string
 
 	// PatchWindowSec enables multicast patching when positive: a new
 	// request for a video already streaming taps that transmission and
@@ -213,6 +234,38 @@ const (
 // AllocatorNames returns the bandwidth-allocation policies registered
 // with the engine, sorted by name.
 func AllocatorNames() []string { return core.AllocatorNames() }
+
+// Registry names of the engine's built-in controller policies, usable
+// as Policy.Selector and Policy.Planner.
+const (
+	// SelectorLeastLoaded admits on the feasible replica holder with
+	// the fewest streams (Section 3.2's rule; the default).
+	SelectorLeastLoaded = core.SelectorLeastLoaded
+	// SelectorFirstFit admits on the first feasible holder in replica
+	// order — the simplest controller.
+	SelectorFirstFit = core.SelectorFirstFit
+	// SelectorMostHeadroom admits on the feasible holder with the most
+	// uncommitted bandwidth (differs from least-loaded only on
+	// heterogeneous clusters).
+	SelectorMostHeadroom = core.SelectorMostHeadroom
+	// SelectorRandomFeasible admits uniformly at random among feasible
+	// holders, seeded from the scenario's split-RNG streams.
+	SelectorRandomFeasible = core.SelectorRandomFeasible
+
+	// PlannerChainDFS is the iterative-deepening DFS chain search (the
+	// default).
+	PlannerChainDFS = core.PlannerChainDFS
+	// PlannerDirectOnly plans single moves only, never chains.
+	PlannerDirectOnly = core.PlannerDirectOnly
+)
+
+// SelectorNames returns the admission selectors registered with the
+// engine's controller, sorted by name.
+func SelectorNames() []string { return core.SelectorNames() }
+
+// PlannerNames returns the DRM planners registered with the engine's
+// controller, sorted by name.
+func PlannerNames() []string { return core.PlannerNames() }
 
 // allocChoice resolves the effective scheduling fields from the
 // Allocator name and the legacy Intermittent/Spare fields, rejecting
@@ -311,6 +364,14 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("semicont: MaxHops %d (use UnlimitedHops=-1)", p.MaxHops)
 	case p.Migration && p.MaxChain < 0:
 		return fmt.Errorf("semicont: negative MaxChain %d", p.MaxChain)
+	case !p.Migration && (p.MaxHops != 0 || p.MaxChain != 0):
+		return fmt.Errorf("semicont: MaxHops=%d/MaxChain=%d set while Migration is disabled (enable Migration or leave them zero)", p.MaxHops, p.MaxChain)
+	case !p.Migration && p.Planner != "":
+		return fmt.Errorf("semicont: Planner %q configured while Migration is disabled", p.Planner)
+	case p.Selector != "" && !core.HasSelector(p.Selector):
+		return fmt.Errorf("semicont: unknown selector %q (have %v)", p.Selector, SelectorNames())
+	case p.Planner != "" && !core.HasPlanner(p.Planner):
+		return fmt.Errorf("semicont: unknown planner %q (have %v)", p.Planner, PlannerNames())
 	case !finite(p.ReceiveCap):
 		return fmt.Errorf("semicont: ReceiveCap %g must be finite", p.ReceiveCap)
 	case !finite(p.ResumeGuard) || p.ResumeGuard < 0:

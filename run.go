@@ -33,6 +33,7 @@ const (
 	seedClients
 	seedInteract
 	seedFaults
+	seedSelector
 )
 
 // Scenario is one fully specified simulation run.
@@ -266,6 +267,9 @@ func Run(sc Scenario) (*Result, error) {
 		Workahead:       pol.StagingFrac > 0,
 		Spare:           core.SpareDiscipline(spare),
 		Allocator:       pol.Allocator,
+		Selector:        pol.Selector,
+		Planner:         pol.Planner,
+		SelectorSeed:    rng.DeriveSeed(sc.Seed, seedSelector),
 		Intermittent:    intermittent,
 		ResumeGuard:     pol.ResumeGuard,
 		CheckInvariants: sc.CheckInvariants,
