@@ -15,6 +15,7 @@ import (
 
 	"semicont"
 	"semicont/internal/experiments"
+	"semicont/internal/sweep"
 )
 
 func benchOpts() experiments.Options {
@@ -227,3 +228,26 @@ func BenchmarkPatching(b *testing.B) {
 		return experiments.Patching(semicont.SmallSystem(), o)
 	})
 }
+
+// --- sweep throughput benchmarks ---
+
+// benchSweepSmall runs the small-system fault sweep (5 allocators × 5
+// MTBF points × 2 trials = 50 cell×trial jobs) on a pool of the given
+// width. This is the headline sweep-throughput benchmark: the serial
+// and parallel variants below differ only in pool size, so their ratio
+// is the wall-clock speedup of the flattened scheduler on this host.
+func benchSweepSmall(b *testing.B, workers int) {
+	b.Helper()
+	pool := sweep.New(workers)
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Trials = 2
+		o.Pool = pool
+		if _, err := experiments.FaultSweep(semicont.SmallSystem(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSmallSerial(b *testing.B)   { benchSweepSmall(b, 1) }
+func BenchmarkSweepSmallParallel(b *testing.B) { benchSweepSmall(b, 0) }

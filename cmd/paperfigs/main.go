@@ -25,6 +25,7 @@ import (
 	"semicont"
 	"semicont/internal/experiments"
 	"semicont/internal/report"
+	"semicont/internal/sweep"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		listAl = flag.Bool("list-allocators", false, "list registered bandwidth allocators and exit")
 		verb   = flag.Bool("v", false, "print per-point progress")
+		par    = flag.Int("parallel", 0, "max concurrent simulation jobs, shared by all experiments (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -70,6 +72,7 @@ func main() {
 		HorizonHours: *hours,
 		Trials:       *trials,
 		Seed:         *seed,
+		Pool:         sweep.New(*par),
 	}
 	if *verb {
 		opts.Progress = func(format string, args ...any) {

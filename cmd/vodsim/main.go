@@ -10,15 +10,25 @@
 //	vodsim -system small -policy P3 -fail-at 50 -fail-server 2
 //	vodsim -system small -policy P4 -trace events.csv -hours 2
 //	vodsim -system small -policy P4 -admission first-fit -planner direct-only
+//	vodsim -experiment fault-sweep-small -parallel 8 -hours 20
+//	vodsim -experiment all -trials 5 -hours 100
+//	vodsim -system small -policy P4 -trials 5 -cpuprofile cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
 
 	"semicont"
+	"semicont/internal/experiments"
 	"semicont/internal/faults"
+	"semicont/internal/report"
+	"semicont/internal/sweep"
 	"semicont/internal/trace"
 )
 
@@ -66,6 +76,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "write an event trace CSV to this file (single trial only)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking (slow)")
 		auditOn   = flag.Bool("audit", false, "attach the invariant auditor: every event is checked against the model's conservation laws; a violation aborts the run with a structured error")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulation jobs for -trials and -experiment (0 = GOMAXPROCS); results are identical at any setting")
+		expt      = flag.String("experiment", "", `run registered experiments: an id, a comma list, or "all" (see -list-experiments); all share one -parallel pool`)
+		listExp   = flag.Bool("list-experiments", false, "list registered experiments and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (see DESIGN.md for the profiling workflow)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -85,6 +100,52 @@ func main() {
 		for _, name := range semicont.PlannerNames() {
 			fmt.Println(name)
 		}
+		return
+	}
+	if *listExp {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	// Profiles cover everything after flag handling. Error exits go
+	// through os.Exit and lose the profile — profile runs that work.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	pool := sweep.New(*parallel)
+	if *expt != "" {
+		runExperiments(*expt, experiments.Options{
+			HorizonHours: *hours,
+			Trials:       *trials,
+			Seed:         *seed,
+			Audit:        *auditOn,
+			Pool:         pool,
+		})
 		return
 	}
 
@@ -217,7 +278,7 @@ func main() {
 		return
 	}
 
-	agg, err := semicont.RunTrials(sc, *trials)
+	agg, err := semicont.RunTrialsOn(pool, sc, *trials)
 	if err != nil {
 		fatal(err)
 	}
@@ -226,6 +287,50 @@ func main() {
 	fmt.Printf("utilization      %s\n", agg.Utilization.String())
 	fmt.Printf("rejection ratio  %s\n", agg.Rejection.String())
 	fmt.Printf("migrations       %s\n", agg.Migrations.String())
+}
+
+// runExperiments runs registered experiments by id ("all" runs the full
+// registry), all sharing one worker pool, and prints their tables and
+// figures as aligned text (cmd/paperfigs adds CSV output and the full
+// presentation layer).
+func runExperiments(spec string, opts experiments.Options) {
+	entries := experiments.Registry()
+	if spec != "all" {
+		var selected []experiments.Entry
+		for _, id := range strings.Split(spec, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+		entries = selected
+	}
+	for _, e := range entries {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", e.ID, e.Description)
+		out, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, tbl := range out.Tables {
+			if err := tbl.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		for _, fig := range out.Figures {
+			tbl, err := report.SeriesTable(fig.Title, fig.XLabel, fig.Series)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s done in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
 }
 
 func parseSystem(s string) (semicont.System, error) {

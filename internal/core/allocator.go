@@ -155,11 +155,13 @@ func (e *Engine) allocate(s *server, t float64) {
 }
 
 // reschedule recomputes s's allocation at time t and replaces its
-// pending wake event. Requests must be synced to t first.
+// pending wake event. Requests must be synced to t first. The wake is
+// held rather than pushed: reschedule is almost always the last act of
+// an event handler, so the wake can be fused with the next pop.
 func (e *Engine) reschedule(s *server, t float64) {
 	next := e.allocator().Allocate(e, s, t)
 	s.version++
 	if !math.IsInf(next, 1) {
-		e.events.Push(next, event{kind: evServerWake, server: s.id, version: s.version})
+		e.holdWake(next, event{kind: evServerWake, server: s.id, version: s.version})
 	}
 }

@@ -179,10 +179,13 @@ func TestRescheduleBumpsVersionAndSchedules(t *testing.T) {
 	if s.version != v0+1 {
 		t.Errorf("version = %d, want %d", s.version, v0+1)
 	}
-	if e.events.Len() != 1 {
-		t.Errorf("events queued = %d, want 1", e.events.Len())
+	if !e.hasHeld {
+		t.Error("reschedule did not hold a wake event")
 	}
-	tm, ev, _ := e.events.Pop()
+	tm, ev, ok := e.popEvent()
+	if !ok {
+		t.Fatal("popEvent returned no event")
+	}
 	if ev.kind != evServerWake || ev.version != s.version {
 		t.Errorf("queued event = %+v", ev)
 	}

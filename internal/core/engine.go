@@ -59,6 +59,18 @@ type Engine struct {
 	nextID  int64
 	pending workload.Request
 
+	// Deferred server wake: reschedule holds its wake push here instead
+	// of touching the heap, because the dominant event pattern is
+	// "handle event → reschedule → pop the very next event" and the
+	// held wake can then be fused with that pop via Queue.PushPop
+	// (replace the root, one sift) instead of a full push plus pop.
+	// Ordering is untouched: every other push flushes the held wake
+	// first, so sequence numbers are assigned in exactly the order the
+	// eager pushes would have produced. See push/holdWake/popEvent.
+	hasHeld bool
+	heldT   float64
+	held    event
+
 	// Heterogeneous client population (nil when homogeneous).
 	classAlias *rng.Alias
 	classRNG   *rng.PCG
@@ -120,27 +132,69 @@ type Engine struct {
 // NewEngine validates the configuration and assembles an engine. The
 // layout must have been built for the same number of servers.
 func NewEngine(cfg Config, cat *catalog.Catalog, lay *placement.Layout, src ArrivalSource) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	e := new(Engine)
+	if err := e.Reset(cfg, cat, lay, src); err != nil {
 		return nil, err
 	}
+	return e, nil
+}
+
+// Reset reinitializes the engine for a fresh run of a (possibly
+// different) configuration, retaining every reusable allocation: the
+// event queue's backing array, the request freelist, the per-server
+// structs and their active/copy slices, and all allocator and audit
+// scratch. A Reset engine is observationally identical to a NewEngine
+// one — same validation, same derived seed streams, same event
+// ordering — so workers running many trials reuse one engine instead
+// of allocating per trial (see BenchmarkTrialReset).
+func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, src ArrivalSource) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if lay.NumServers() != len(cfg.ServerBandwidth) {
-		return nil, fmt.Errorf("core: layout has %d servers, config %d", lay.NumServers(), len(cfg.ServerBandwidth))
+		return fmt.Errorf("core: layout has %d servers, config %d", lay.NumServers(), len(cfg.ServerBandwidth))
 	}
 	if src == nil {
-		return nil, fmt.Errorf("core: nil arrival source")
+		return fmt.Errorf("core: nil arrival source")
 	}
-	e := &Engine{
-		cfg:       cfg,
-		cat:       cat,
-		layout:    lay,
-		source:    src,
-		servers:   make([]*server, len(cfg.ServerBandwidth)),
-		visited:   make([]bool, len(cfg.ServerBandwidth)),
-		extraUsed: make([]float64, len(cfg.ServerBandwidth)),
+	e.cfg = cfg
+	e.cat = cat
+	e.layout = lay
+	e.source = src
+	e.events.Reset()
+	e.hasHeld = false
+
+	n := len(cfg.ServerBandwidth)
+	if cap(e.servers) < n {
+		e.servers = make([]*server, n)
+	} else {
+		e.servers = e.servers[:n]
 	}
 	for i, b := range cfg.ServerBandwidth {
-		e.servers[i] = &server{id: int32(i), bandwidth: b, slots: cfg.Slots(i)}
+		if s := e.servers[i]; s != nil {
+			clearRequests(s.active)
+			s.active = s.active[:0]
+			clearCopies(s.copies)
+			*s = server{id: int32(i), bandwidth: b, slots: cfg.Slots(i), active: s.active, copies: s.copies[:0]}
+		} else {
+			e.servers[i] = &server{id: int32(i), bandwidth: b, slots: cfg.Slots(i)}
+		}
 	}
+	e.visited = resizeBools(e.visited, n)
+	e.extraUsed = resizeFloats(e.extraUsed, n)
+
+	e.now, e.horizon = 0, 0
+	e.metrics = Metrics{}
+	e.obs = nil
+	e.nextID = 0
+	e.pending = workload.Request{}
+
+	// Per-run policy and RNG state: nil so the lazy resolvers re-derive
+	// from the new config (random-feasible's choice stream, for one,
+	// seeds itself from cfg.SelectorSeed on first use).
+	e.alloc, e.sel, e.planr = nil, nil, nil
+	e.classAlias, e.classRNG = nil, nil
+	e.interactRNG, e.byID = nil, nil
 	if cfg.Interactivity.PauseProb > 0 {
 		e.interactRNG = rng.New(rng.DeriveSeed(cfg.Interactivity.Seed, 0x706175)) // "pau"
 		e.byID = make(map[int64]*request)
@@ -152,12 +206,65 @@ func NewEngine(cfg Config, cat *catalog.Catalog, lay *placement.Layout, src Arri
 		}
 		alias, err := rng.NewAlias(weights)
 		if err != nil {
-			return nil, fmt.Errorf("core: client classes: %w", err)
+			return fmt.Errorf("core: client classes: %w", err)
 		}
 		e.classAlias = alias
 		e.classRNG = rng.New(rng.DeriveSeed(cfg.ClientSeed, 0xc11e47)) // "client"
 	}
-	return e, nil
+
+	// Replication, fault-tolerance, and audit state back to the lazy
+	// zero the constructor leaves; maps keep their storage.
+	clear(e.extraHolders)
+	clear(e.copying)
+	clear(e.retryQ)
+	clear(e.parked)
+	e.faultSched = nil
+	e.staticWiped = nil
+	e.nextRetryID = 0
+	e.audit = nil
+	e.auditErr = nil
+	e.auditSeq = 0
+	e.auditServers = nil
+	e.spareGrantBuf = e.spareGrantBuf[:0]
+	e.intermitGrantBuf = e.intermitGrantBuf[:0]
+	e.spareMisorder = false
+	// cand/evenBuf/touchedBuf are reset at each use; freeList is kept —
+	// recycled requests are the cross-trial reuse this enables.
+	return nil
+}
+
+func clearRequests(rs []*request) {
+	for i := range rs {
+		rs[i] = nil
+	}
+}
+
+func clearCopies(cs []*copyJob) {
+	for i := range cs {
+		cs[i] = nil
+	}
+}
+
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+func resizeFloats(f []float64, n int) []float64 {
+	if cap(f) < n {
+		return make([]float64, n)
+	}
+	f = f[:n]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
 }
 
 // SetObserver installs a lifecycle observer (may be nil). Call before Run.
@@ -214,7 +321,7 @@ func (e *Engine) ScheduleFailure(t float64, id int) error {
 		return fmt.Errorf("core: server %d is already scheduled to be down at t=%g (schedule its recovery first)", id, t)
 	}
 	e.faultSched[id] = faultSched{down: true, lastT: t}
-	e.events.Push(t, event{kind: evFailure, server: int32(id)})
+	e.push(t, event{kind: evFailure, server: int32(id)})
 	return nil
 }
 
@@ -232,7 +339,7 @@ func (e *Engine) ScheduleRecovery(t float64, id int, cold bool) error {
 		return fmt.Errorf("core: recovery of server %d at t=%g without a preceding failure", id, t)
 	}
 	e.faultSched[id] = faultSched{down: false, lastT: t}
-	e.events.Push(t, event{kind: evRecovery, server: int32(id), cold: cold})
+	e.push(t, event{kind: evRecovery, server: int32(id), cold: cold})
 	return nil
 }
 
@@ -280,14 +387,47 @@ func (e *Engine) primeArrival() {
 		return
 	}
 	e.pending = r
-	e.events.Push(r.Arrival, event{kind: evArrival})
+	e.push(r.Arrival, event{kind: evArrival})
+}
+
+// push schedules an event. Any held wake is flushed first, so sequence
+// numbers are assigned in exactly the order the eager pushes would have
+// produced — the deferred wake is invisible to the FIFO tie-break.
+func (e *Engine) push(t float64, ev event) {
+	if e.hasHeld {
+		e.events.Push(e.heldT, e.held)
+		e.hasHeld = false
+	}
+	e.events.Push(t, ev)
+}
+
+// holdWake defers a server-wake push so popEvent can fuse it with the
+// next pop. A previously held wake is flushed first, preserving order.
+func (e *Engine) holdWake(t float64, ev event) {
+	if e.hasHeld {
+		e.events.Push(e.heldT, e.held)
+	}
+	e.hasHeld = true
+	e.heldT, e.held = t, ev
+}
+
+// popEvent removes the earliest event, fusing a pending held wake with
+// the pop via Queue.PushPop (one sift instead of an up-sift plus a
+// down-sift). With a held wake the queue is momentarily never empty, so
+// the run keeps draining until the last wake has actually been handled.
+func (e *Engine) popEvent() (float64, event, bool) {
+	if e.hasHeld {
+		e.hasHeld = false
+		return e.events.PushPop(e.heldT, e.held)
+	}
+	return e.events.Pop()
 }
 
 // Step processes a single event. It returns false when the event list
 // is exhausted (the run is complete) or an attached auditor raised a
 // violation (consult AuditErr).
 func (e *Engine) Step() bool {
-	t, ev, ok := e.events.Pop()
+	t, ev, ok := e.popEvent()
 	if !ok {
 		return false
 	}
@@ -383,8 +523,8 @@ func (e *Engine) scheduleInteraction(r *request, t float64) {
 	frac := e.interactRNG.UniformRange(0.05, 0.95)
 	dur := e.interactRNG.UniformRange(e.cfg.Interactivity.MinPause, e.cfg.Interactivity.MaxPause)
 	pauseAt := t + frac*r.size/e.cfg.ViewRate
-	e.events.Push(pauseAt, event{kind: evPause, req: r.id})
-	e.events.Push(pauseAt+dur, event{kind: evResume, req: r.id})
+	e.push(pauseAt, event{kind: evPause, req: r.id})
+	e.push(pauseAt+dur, event{kind: evResume, req: r.id})
 }
 
 // handleInteraction applies a viewer pause or resume. Events whose

@@ -14,6 +14,19 @@ import (
 // every feature the engine supports, driven by a seed. Invariant
 // checking is always on; this is the engine's fuzz harness.
 func buildKitchenSink(t testing.TB, seed uint64) (*Engine, Config) {
+	cfg, cat, lay, mkSrc := kitchenSinkParts(t, seed)
+	e, err := NewEngine(cfg, cat, lay, mkSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, cfg
+}
+
+// kitchenSinkParts builds the kitchen-sink scenario without allocating
+// the engine, so tests can run the identical scenario on fresh and
+// Reset engines. mkSrc returns a fresh, identically seeded arrival
+// stream on every call.
+func kitchenSinkParts(t testing.TB, seed uint64) (Config, *catalog.Catalog, *placement.Layout, func() ArrivalSource) {
 	p := rng.New(rng.DeriveSeed(seed, 0xf0))
 	cat, err := catalog.Generate(catalog.Config{
 		NumVideos: 10 + p.Intn(30),
@@ -98,15 +111,14 @@ func buildKitchenSink(t testing.TB, seed uint64) (*Engine, Config) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen, err := workload.New(cat, rate, rng.New(rng.DeriveSeed(seed, 3)))
-	if err != nil {
-		t.Fatal(err)
+	mkSrc := func() ArrivalSource {
+		gen, err := workload.New(cat, rate, rng.New(rng.DeriveSeed(seed, 3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
 	}
-	e, err := NewEngine(cfg, cat, lay, gen)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return e, cfg
+	return cfg, cat, lay, mkSrc
 }
 
 // TestKitchenSinkFuzz runs randomized simulations with every feature

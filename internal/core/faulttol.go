@@ -147,7 +147,7 @@ func (e *Engine) pushRetry(en *retryEntry, t float64) {
 	if next > en.deadline {
 		next = en.deadline
 	}
-	e.events.Push(next, event{kind: evRetry, req: en.id})
+	e.push(next, event{kind: evRetry, req: en.id})
 }
 
 // handleRetry re-attempts admission for a queued request. Queued
@@ -202,7 +202,7 @@ func (e *Engine) nextParkTick(r *request, t float64) {
 			next = dry
 		}
 	}
-	e.events.Push(next, event{kind: evParkTick, req: r.id, version: r.parkVer})
+	e.push(next, event{kind: evParkTick, req: r.id, version: r.parkVer})
 }
 
 // handleParkTick is a parked stream's reconnect attempt. Readmission is

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"semicont/internal/catalog"
+	"semicont/internal/placement"
+	"semicont/internal/rng"
+	"semicont/internal/workload"
+)
+
+// TestResetEquivalence pins the engine-reuse contract: running a
+// scenario on a Reset engine must produce metrics identical to running
+// it on a freshly constructed one, even when the engine previously ran
+// a completely different configuration (different server count, feature
+// set, and seeds). The kitchen-sink builder supplies the scenario
+// diversity; every feature's state must therefore survive — or be
+// wiped by — Reset correctly.
+func TestResetEquivalence(t *testing.T) {
+	reused := new(Engine)
+	for _, seed := range []uint64{1, 2, 3, 7, 11, 23, 42, 99} {
+		cfg, cat, lay, mkSrc := kitchenSinkParts(t, seed)
+
+		fresh, err := NewEngine(cfg, cat, lay, mkSrc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Reset(cfg, cat, lay, mkSrc()); err != nil {
+			t.Fatal(err)
+		}
+		// Odd seeds also kill and recover a server so the fault path's
+		// per-run state (faultSched, parked, retryQ) is exercised.
+		if seed%2 == 1 {
+			id := int(seed) % len(cfg.ServerBandwidth)
+			for _, e := range []*Engine{fresh, reused} {
+				if err := e.ScheduleFailure(600, id); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.ScheduleRecovery(1200, id, seed%4 == 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		mf, errF := fresh.Run(1800)
+		mr, errR := reused.Run(1800)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("seed %d: fresh err %v, reused err %v", seed, errF, errR)
+		}
+		if errF != nil {
+			continue
+		}
+		if *mf != *mr {
+			t.Errorf("seed %d: metrics diverge\nfresh:  %+v\nreused: %+v", seed, *mf, *mr)
+		}
+	}
+}
+
+// benchTrialParts is a mid-sized scenario representative of one sweep
+// trial: four servers, DRM enabled, workahead buffering, calibrated to
+// 90% load.
+func benchTrialParts(b *testing.B) (Config, *catalog.Catalog, *placement.Layout, func() ArrivalSource) {
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: 50, MinLength: 600, MaxLength: 7200, ViewRate: 3, Theta: 0.271,
+	}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := []float64{1e6, 1e6, 1e6, 1e6}
+	bws := []float64{100, 100, 100, 100}
+	lay, err := placement.Build(placement.Even{}, cat, 2, caps, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		ServerBandwidth: bws,
+		ServerStorage:   caps,
+		ViewRate:        3,
+		Workahead:       true,
+		BufferCapacity:  cat.AvgSize() * 0.1,
+		Migration:       MigrationConfig{Enabled: true, MaxHops: 1, MaxChain: 1},
+	}
+	rate, err := workload.CalibratedRate(cat, 400, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkSrc := func() ArrivalSource {
+		gen, err := workload.New(cat, rate, rng.New(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return gen
+	}
+	return cfg, cat, lay, mkSrc
+}
+
+// BenchmarkTrialReset measures one sweep trial on a reused engine —
+// Reset plus Run — against BenchmarkTrialFresh's NewEngine per trial.
+// The allocs/op gap is the garbage the reuse path avoids: everything
+// but the arrival generator survives across trials.
+func BenchmarkTrialReset(b *testing.B) {
+	cfg, cat, lay, mkSrc := benchTrialParts(b)
+	e := new(Engine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Reset(cfg, cat, lay, mkSrc()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(1800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialFresh is the pre-reuse baseline: a new engine per trial.
+func BenchmarkTrialFresh(b *testing.B) {
+	cfg, cat, lay, mkSrc := benchTrialParts(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(cfg, cat, lay, mkSrc())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(1800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,10 +17,10 @@ import (
 func AdmissionSweep(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	loads := []float64{0.7, 0.85, 1.0, 1.15, 1.3}
-	var denial, util []stats.Series
-	for _, name := range semicont.SelectorNames() {
-		den := stats.Series{Name: name}
-		ut := stats.Series{Name: name}
+	names := semicont.SelectorNames()
+	w := newSweeper(opts)
+	cells := make(map[string][]cellRef, len(names))
+	for _, name := range names {
 		for _, load := range loads {
 			sc := semicont.Scenario{
 				System: sys,
@@ -38,12 +38,20 @@ func AdmissionSweep(sys semicont.System, opts Options) (*Output, error) {
 				Seed:         opts.Seed,
 				Audit:        opts.Audit,
 			}
-			agg, err := semicont.RunTrials(sc, opts.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: admission-sweep %s at load=%g: %w", name, load, err)
-			}
+			label := fmt.Sprintf("admission-sweep %s at load=%g", name, load)
+			cells[name] = append(cells[name], w.cell(label, sc))
+		}
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var denial, util []stats.Series
+	for _, name := range names {
+		den := stats.Series{Name: name}
+		ut := stats.Series{Name: name}
+		for i, load := range loads {
 			var dSmp, uSmp stats.Sample
-			for _, r := range agg.Results {
+			for _, r := range cells[name][i].results() {
 				if r.Arrivals > 0 {
 					dSmp.Add(float64(r.Rejected) / float64(r.Arrivals))
 				}

@@ -17,10 +17,11 @@ import (
 // here.
 func Allocators(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
-	var utils []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, name := range semicont.AllocatorNames() {
 		alloc := name
-		s, err := curve(alloc, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+		refs = append(refs, w.series(alloc, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{
 				System: sys,
 				Policy: semicont.Policy{
@@ -32,11 +33,14 @@ func Allocators(sys semicont.System, opts Options) (*Output, error) {
 				},
 				Theta: theta,
 			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		utils = append(utils, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var utils []stats.Series
+	for _, r := range refs {
+		utils = append(utils, r.utilization())
 	}
 	id := "alloc-" + sys.Name
 	return &Output{

@@ -6,11 +6,10 @@
 package experiments
 
 import (
-	"fmt"
-
 	"semicont"
 	"semicont/internal/report"
 	"semicont/internal/stats"
+	"semicont/internal/sweep"
 )
 
 // Options scale an experiment. The zero value is filled with practical
@@ -33,6 +32,12 @@ type Options struct {
 	// Scenario.Audit). The registry test runs the whole suite with it
 	// on; any violation fails the experiment with a structured error.
 	Audit bool
+	// Pool, when non-nil, bounds the concurrency of the experiment's
+	// flattened (cell × trial) job matrix; nil gets a private
+	// GOMAXPROCS-sized pool per experiment. vodsim -experiment all
+	// shares one pool across every experiment it runs. Results are
+	// byte-identical at any worker count.
+	Pool *sweep.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -86,36 +91,4 @@ type Output struct {
 	Title   string
 	Figures []Figure
 	Tables  []*report.Table
-}
-
-// curve runs one scenario family over the x grid, returning a series of
-// trial-aggregated utilizations. The scenario for each x comes from
-// make; the per-point seed is derived from the experiment seed so
-// curves are decoupled.
-func curve(name string, xs []float64, opts Options, make func(x float64) semicont.Scenario) (stats.Series, error) {
-	return metricCurve(name, xs, opts, make, func(r *semicont.Result) float64 {
-		return r.Utilization
-	})
-}
-
-// metricCurve is curve generalized over the measured quantity.
-func metricCurve(name string, xs []float64, opts Options, make func(x float64) semicont.Scenario, metric func(*semicont.Result) float64) (stats.Series, error) {
-	s := stats.Series{Name: name}
-	for _, x := range xs {
-		sc := make(x)
-		sc.HorizonHours = opts.HorizonHours
-		sc.Seed = opts.Seed
-		sc.Audit = opts.Audit
-		agg, err := semicont.RunTrials(sc, opts.Trials)
-		if err != nil {
-			return stats.Series{}, fmt.Errorf("experiments: %s at x=%g: %w", name, x, err)
-		}
-		var sample stats.Sample
-		for _, r := range agg.Results {
-			sample.Add(metric(r))
-		}
-		s.Points = append(s.Points, stats.FromSample(x, &sample))
-		opts.Progress("  %s x=%g value=%.4f ±%.4f", name, x, sample.Mean(), sample.CI95())
-	}
-	return s, nil
 }

@@ -34,27 +34,26 @@ func Intermittent(sys semicont.System, opts Options) (*Output, error) {
 			Intermittent: true, ResumeGuard: 10,
 		}},
 	}
-	var utils, glitches []stats.Series
-	for _, v := range variants {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(variants))
+	for i, v := range variants {
 		pol := v.pol
-		mk := func(theta float64) semicont.Scenario {
+		refs[i] = w.series(v.name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
-		}
-		u, err := curve(v.name, opts.Thetas, opts, mk)
-		if err != nil {
-			return nil, err
-		}
-		utils = append(utils, u)
-		g, err := metricCurve(v.name, opts.Thetas, opts, mk, func(r *semicont.Result) float64 {
+		})
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var utils, glitches []stats.Series
+	for _, r := range refs {
+		utils = append(utils, r.utilization())
+		glitches = append(glitches, r.metric(func(r *semicont.Result) float64 {
 			if r.Accepted == 0 {
 				return 0
 			}
 			return 1000 * float64(r.GlitchedStreams) / float64(r.Accepted)
-		})
-		if err != nil {
-			return nil, err
-		}
-		glitches = append(glitches, g)
+		}))
 	}
 	id := "intermittent-" + sys.Name
 	return &Output{
@@ -95,25 +94,24 @@ func Replication(sys semicont.System, opts Options) (*Output, error) {
 		{Name: "replication", Placement: semicont.EvenPlacement, Replicate: true},
 		{Name: "DRM+replication", Placement: semicont.EvenPlacement, Migration: true, Replicate: true},
 	}
-	var utils, copies []stats.Series
-	for _, p := range variants {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(variants))
+	for i, p := range variants {
 		pol := p
-		mk := func(theta float64) semicont.Scenario {
+		refs[i] = w.series(pol.Name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
-		}
-		u, err := curve(pol.Name, opts.Thetas, opts, mk)
-		if err != nil {
-			return nil, err
-		}
-		utils = append(utils, u)
-		if pol.Replicate {
-			c, err := metricCurve(pol.Name, opts.Thetas, opts, mk, func(r *semicont.Result) float64 {
+		})
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var utils, copies []stats.Series
+	for i, p := range variants {
+		utils = append(utils, refs[i].utilization())
+		if p.Replicate {
+			copies = append(copies, refs[i].metric(func(r *semicont.Result) float64 {
 				return float64(r.ReplicationsCompleted)
-			})
-			if err != nil {
-				return nil, err
-			}
-			copies = append(copies, c)
+			}))
 		}
 	}
 	id := "replication-" + sys.Name
@@ -163,10 +161,12 @@ func ClientMix(sys semicont.System, opts Options) (*Output, error) {
 			Theta: PriorStudiesTheta,
 		}
 	}
-	s, err := curve("utilization", thinFracs, opts, mk)
-	if err != nil {
+	w := newSweeper(opts)
+	ref := w.series("utilization", thinFracs, mk)
+	if err := w.wait(); err != nil {
 		return nil, err
 	}
+	s := ref.utilization()
 	id := "clientmix-" + sys.Name
 	return &Output{
 		ID:    id,
@@ -196,20 +196,24 @@ func Interactivity(sys semicont.System, opts Options) (*Output, error) {
 		{Name: "P2 (20% staging)", Placement: semicont.EvenPlacement, StagingFrac: 0.2},
 		{Name: "P4 (staging+DRM)", Placement: semicont.EvenPlacement, Migration: true, StagingFrac: 0.2},
 	}
-	var series []stats.Series
-	for _, v := range variants {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(variants))
+	for i, v := range variants {
 		pol := v
-		s, err := curve(pol.Name, probs, opts, func(prob float64) semicont.Scenario {
+		refs[i] = w.series(pol.Name, probs, func(prob float64) semicont.Scenario {
 			p := pol
 			p.PauseProb = prob
 			p.MinPauseSec = 60
 			p.MaxPauseSec = 540 // mean 5 minutes
 			return semicont.Scenario{System: sys, Policy: p, Theta: PriorStudiesTheta}
 		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "interactive-" + sys.Name
 	return &Output{
@@ -234,12 +238,14 @@ func Interactivity(sys semicont.System, opts Options) (*Output, error) {
 // approximation breaks down (strong skew → correlated holders).
 func ClusterAnalysis(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
-	sim, err := curve("simulated-P1", opts.Thetas, opts, func(theta float64) semicont.Scenario {
+	w := newSweeper(opts)
+	simRef := w.series("simulated-P1", opts.Thetas, func(theta float64) semicont.Scenario {
 		return semicont.Scenario{System: sys, Policy: semicont.PolicyP1(), Theta: theta}
 	})
-	if err != nil {
+	if err := w.wait(); err != nil {
 		return nil, err
 	}
+	sim := simRef.utilization()
 	lower := stats.Series{Name: "no-sharing"}
 	fixed := stats.Series{Name: "fixed-point"}
 	upper := stats.Series{Name: "complete-sharing"}
@@ -278,17 +284,15 @@ func ClusterAnalysis(sys semicont.System, opts Options) (*Output, error) {
 // without it.
 func SpareDisciplines(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
-	var figures []Figure
-	for _, cap := range []float64{semicont.DefaultReceiveCap, -1} {
-		capLabel := "30 Mb/s receive cap"
-		if cap < 0 {
-			capLabel = "unbounded receive"
-		}
-		var series []stats.Series
-		for _, d := range []semicont.SpareKind{semicont.EFTFSpare, semicont.LFTFSpare, semicont.EvenSplitSpare} {
+	caps := []float64{semicont.DefaultReceiveCap, -1}
+	discs := []semicont.SpareKind{semicont.EFTFSpare, semicont.LFTFSpare, semicont.EvenSplitSpare}
+	w := newSweeper(opts)
+	refs := make(map[float64][]seriesRef, len(caps))
+	for _, cap := range caps {
+		for _, d := range discs {
 			disc := d
 			rc := cap
-			s, err := curve(disc.String(), opts.Thetas, opts, func(theta float64) semicont.Scenario {
+			refs[cap] = append(refs[cap], w.series(disc.String(), opts.Thetas, func(theta float64) semicont.Scenario {
 				return semicont.Scenario{
 					System: sys,
 					Policy: semicont.Policy{
@@ -300,11 +304,21 @@ func SpareDisciplines(sys semicont.System, opts Options) (*Output, error) {
 					},
 					Theta: theta,
 				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			series = append(series, s)
+			}))
+		}
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var figures []Figure
+	for _, cap := range caps {
+		capLabel := "30 Mb/s receive cap"
+		if cap < 0 {
+			capLabel = "unbounded receive"
+		}
+		var series []stats.Series
+		for _, r := range refs[cap] {
+			series = append(series, r.utilization())
 		}
 		suffix := "capped"
 		if cap < 0 {
@@ -345,34 +359,33 @@ func Patching(sys semicont.System, opts Options) (*Output, error) {
 		{Name: "patch window 1min", Placement: semicont.EvenPlacement, StagingFrac: 0.2, PatchWindowSec: 60},
 		{Name: "patch window 4min", Placement: semicont.EvenPlacement, StagingFrac: 0.2, PatchWindowSec: 240},
 	}
-	var accept, shared []stats.Series
-	for _, v := range variants {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(variants))
+	for i, v := range variants {
 		pol := v
-		mk := func(theta float64) semicont.Scenario {
+		refs[i] = w.series(pol.Name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta, LoadFactor: 1.5}
-		}
-		a, err := metricCurve(pol.Name, opts.Thetas, opts, mk, func(r *semicont.Result) float64 {
+		})
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var accept, shared []stats.Series
+	for i, v := range variants {
+		accept = append(accept, refs[i].metric(func(r *semicont.Result) float64 {
 			if r.Arrivals == 0 {
 				return 0
 			}
 			return float64(r.Accepted) / float64(r.Arrivals)
-		})
-		if err != nil {
-			return nil, err
-		}
-		accept = append(accept, a)
-		if pol.PatchWindowSec > 0 {
-			s, err := metricCurve(pol.Name, opts.Thetas, opts, mk, func(r *semicont.Result) float64 {
+		}))
+		if v.PatchWindowSec > 0 {
+			shared = append(shared, refs[i].metric(func(r *semicont.Result) float64 {
 				total := r.AcceptedMb + r.SharedMb
 				if total == 0 {
 					return 0
 				}
 				return r.SharedMb / total
-			})
-			if err != nil {
-				return nil, err
-			}
-			shared = append(shared, s)
+			}))
 		}
 	}
 	id := "patching-" + sys.Name

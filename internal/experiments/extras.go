@@ -22,10 +22,11 @@ const PriorStudiesTheta = 0.271
 func StagingSweep(opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	fracs := []float64{0, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
-	var series []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, sys := range []semicont.System{semicont.SmallSystem(), semicont.LargeSystem()} {
 		system := sys
-		s, err := curve(system.Name, fracs, opts, func(frac float64) semicont.Scenario {
+		refs = append(refs, w.series(system.Name, fracs, func(frac float64) semicont.Scenario {
 			return semicont.Scenario{
 				System: system,
 				Policy: semicont.Policy{
@@ -36,11 +37,14 @@ func StagingSweep(opts Options) (*Output, error) {
 				},
 				Theta: PriorStudiesTheta,
 			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	return &Output{
 		ID:    "stage",
@@ -63,16 +67,18 @@ func StagingSweep(opts Options) (*Output, error) {
 func SVBR(opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	ratios := []float64{5, 10, 20, 33, 50, 100, 200}
-	sim, err := curve("simulated", ratios, opts, func(svbr float64) semicont.Scenario {
+	w := newSweeper(opts)
+	simRef := w.series("simulated", ratios, func(svbr float64) semicont.Scenario {
 		return semicont.Scenario{
 			System: semicont.SingleServer(int(svbr)),
 			Policy: semicont.Policy{Name: "plain", Placement: semicont.EvenPlacement},
 			Theta:  1, // uniform demand; irrelevant with one server
 		}
 	})
-	if err != nil {
+	if err := w.wait(); err != nil {
 		return nil, err
 	}
+	sim := simRef.utilization()
 	ana := stats.Series{Name: "erlang-b"}
 	for _, k := range ratios {
 		u, err := analytic.ExpectedUtilization(int(k), 1)
@@ -103,10 +109,11 @@ func Heterogeneity(opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	sizes := []float64{5, 10, 20}
 	const level = 0.5
-	var series []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, prof := range []hetero.Profile{hetero.Homogeneous, hetero.BandwidthHetero, hetero.StorageHetero} {
 		profile := prof
-		s, err := curve(profile.String(), sizes, opts, func(n float64) semicont.Scenario {
+		refs = append(refs, w.series(profile.String(), sizes, func(n float64) semicont.Scenario {
 			sys := semicont.SmallSystem()
 			sys.Name = fmt.Sprintf("het-%s-%d", profile, int(n))
 			sys.NumServers = int(n)
@@ -116,11 +123,14 @@ func Heterogeneity(opts Options) (*Output, error) {
 			}
 			sys.Bandwidths, sys.Capacities = bw, st
 			return semicont.Scenario{System: sys, Policy: semicont.PolicyP4(), Theta: PriorStudiesTheta}
-		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	return &Output{
 		ID:    "het",
@@ -151,16 +161,20 @@ func PartialPredictive(sys semicont.System, opts Options) (*Output, error) {
 		{Name: "partial-predictive", Placement: semicont.PartialPredictivePlacement, Migration: true, StagingFrac: 0.2},
 		{Name: "predictive", Placement: semicont.PredictivePlacement, Migration: true, StagingFrac: 0.2},
 	}
-	var series []stats.Series
-	for _, p := range policies {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(policies))
+	for i, p := range policies {
 		pol := p
-		s, err := curve(pol.Name, thetas, opts, func(theta float64) semicont.Scenario {
+		refs[i] = w.series(pol.Name, thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
 		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "partial-" + sys.Name
 	return &Output{
@@ -182,11 +196,12 @@ func PartialPredictive(sys semicont.System, opts Options) (*Output, error) {
 // utilization; longer chains should add little.
 func ChainLength(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
-	var series []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, chain := range []int{1, 2, 3} {
 		c := chain
 		name := fmt.Sprintf("chain=%d", c)
-		s, err := curve(name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+		refs = append(refs, w.series(name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{
 				System: sys,
 				Policy: semicont.Policy{
@@ -198,11 +213,14 @@ func ChainLength(sys semicont.System, opts Options) (*Output, error) {
 				},
 				Theta: theta,
 			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "chain-" + sys.Name
 	return &Output{
@@ -225,11 +243,12 @@ func ChainLength(sys semicont.System, opts Options) (*Output, error) {
 func SwitchDelay(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	delays := []float64{0, 1, 5, 15, 60}
-	var series []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, frac := range []float64{0.005, 0.02, 0.2} {
 		f := frac
 		name := fmt.Sprintf("%g%% buffer", f*100)
-		s, err := curve(name, delays, opts, func(delay float64) semicont.Scenario {
+		refs = append(refs, w.series(name, delays, func(delay float64) semicont.Scenario {
 			return semicont.Scenario{
 				System: sys,
 				Policy: semicont.Policy{
@@ -242,11 +261,14 @@ func SwitchDelay(sys semicont.System, opts Options) (*Output, error) {
 				},
 				Theta: PriorStudiesTheta,
 			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "switch-" + sys.Name
 	return &Output{
@@ -281,12 +303,14 @@ func Failover(sys semicont.System, opts Options) (*Output, error) {
 		Title:   fmt.Sprintf("Server failure at t = %g h (%s system, theta = %g, load 0.85)", opts.HorizonHours/2, sys.Name, PriorStudiesTheta),
 		Headers: []string{"policy", "utilization", "rescued", "dropped", "rescue-rate"},
 	}
-	for _, v := range variants {
-		util, rescued, dropped := stats.Sample{}, stats.Sample{}, stats.Sample{}
-		for trial := 0; trial < opts.Trials; trial++ {
-			sc := semicont.Scenario{
+	w := newSweeper(opts)
+	refs := make([]cellRef, len(variants))
+	for i, v := range variants {
+		pol := v.pol
+		refs[i] = w.rawCell("failover "+v.name, opts.Trials, func(trial int) (*semicont.Result, error) {
+			return semicont.Run(semicont.Scenario{
 				System:       sys,
-				Policy:       v.pol,
+				Policy:       pol,
 				Theta:        PriorStudiesTheta,
 				HorizonHours: opts.HorizonHours,
 				// Leave headroom so rescues have somewhere to land; a
@@ -296,11 +320,15 @@ func Failover(sys semicont.System, opts Options) (*Output, error) {
 				FailServer:  0,
 				FailAtHours: opts.HorizonHours / 2,
 				Audit:       opts.Audit,
-			}
-			res, err := semicont.Run(sc)
-			if err != nil {
-				return nil, err
-			}
+			})
+		})
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		util, rescued, dropped := stats.Sample{}, stats.Sample{}, stats.Sample{}
+		for _, res := range refs[i].results() {
 			util.Add(res.Utilization)
 			rescued.Add(float64(res.RescuedStreams))
 			dropped.Add(float64(res.DroppedStreams))

@@ -22,11 +22,10 @@ import (
 func FaultSweep(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	mtbfs := []float64{5, 10, 20, 40, 80}
-	var denial, drops, glitches []stats.Series
-	for _, name := range semicont.AllocatorNames() {
-		den := stats.Series{Name: name}
-		drp := stats.Series{Name: name}
-		gl := stats.Series{Name: name}
+	names := semicont.AllocatorNames()
+	w := newSweeper(opts)
+	cells := make(map[string][]cellRef, len(names))
+	for _, name := range names {
 		for _, mtbf := range mtbfs {
 			sc := semicont.Scenario{
 				System: sys,
@@ -49,12 +48,21 @@ func FaultSweep(sys semicont.System, opts Options) (*Output, error) {
 				Faults:       faults.Config{MTBFHours: mtbf, MTTRHours: 1},
 				Audit:        opts.Audit,
 			}
-			agg, err := semicont.RunTrials(sc, opts.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fault-sweep %s at mtbf=%g: %w", name, mtbf, err)
-			}
+			label := fmt.Sprintf("fault-sweep %s at mtbf=%g", name, mtbf)
+			cells[name] = append(cells[name], w.cell(label, sc))
+		}
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var denial, drops, glitches []stats.Series
+	for _, name := range names {
+		den := stats.Series{Name: name}
+		drp := stats.Series{Name: name}
+		gl := stats.Series{Name: name}
+		for i, mtbf := range mtbfs {
 			var dSmp, drSmp, gSmp stats.Sample
-			for _, r := range agg.Results {
+			for _, r := range cells[name][i].results() {
 				if r.Arrivals > 0 {
 					dSmp.Add(float64(r.Rejected+r.Reneged) / float64(r.Arrivals))
 				}

@@ -21,16 +21,20 @@ func Fig4(sys semicont.System, opts Options) (*Output, error) {
 		{"hops=1", semicont.Policy{Name: "hops=1", Placement: semicont.EvenPlacement, Migration: true, MaxHops: 1}},
 		{"hops=unlimited", semicont.Policy{Name: "hops=unlimited", Placement: semicont.EvenPlacement, Migration: true, MaxHops: semicont.UnlimitedHops}},
 	}
-	var series []stats.Series
-	for _, v := range variants {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(variants))
+	for i, v := range variants {
 		pol := v.pol
-		s, err := curve(v.name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+		refs[i] = w.series(v.name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
 		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "f4-" + sys.Name
 	return &Output{
@@ -53,11 +57,12 @@ func Fig4(sys semicont.System, opts Options) (*Output, error) {
 func Fig5(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
 	fracs := []float64{0, 0.02, 0.2, 1.0}
-	var series []stats.Series
-	for _, f := range fracs {
+	w := newSweeper(opts)
+	refs := make([]seriesRef, len(fracs))
+	for i, f := range fracs {
 		frac := f
 		name := fmt.Sprintf("%g%% buffer", frac*100)
-		s, err := curve(name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+		refs[i] = w.series(name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{
 				System: sys,
 				Policy: semicont.Policy{
@@ -69,10 +74,13 @@ func Fig5(sys semicont.System, opts Options) (*Output, error) {
 				Theta: theta,
 			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "f5-" + sys.Name
 	return &Output{
@@ -93,16 +101,20 @@ func Fig5(sys semicont.System, opts Options) (*Output, error) {
 // over the θ sweep, with 20% client buffers wherever staging is on.
 func Fig7(sys semicont.System, opts Options) (*Output, error) {
 	opts = opts.withDefaults()
-	var series []stats.Series
+	w := newSweeper(opts)
+	var refs []seriesRef
 	for _, p := range semicont.PaperPolicies() {
 		pol := p
-		s, err := curve(pol.Name, opts.Thetas, opts, func(theta float64) semicont.Scenario {
+		refs = append(refs, w.series(pol.Name, opts.Thetas, func(theta float64) semicont.Scenario {
 			return semicont.Scenario{System: sys, Policy: pol, Theta: theta}
-		})
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, s)
+		}))
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	var series []stats.Series
+	for _, r := range refs {
+		series = append(series, r.utilization())
 	}
 	id := "f7-" + sys.Name
 	return &Output{

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"semicont"
+	"semicont/internal/stats"
+	"semicont/internal/sweep"
+)
+
+// sweeper flattens one experiment's full (cell × trial) matrix onto a
+// single worker pool. Experiments submit every scenario up front
+// (cell/series), then wait once, then materialize figures from the
+// in-order results — so all trials of all cells drain the pool
+// together instead of five trials at a time per data point.
+//
+// Determinism: results land in slots fixed at submission and are
+// materialized in submission order; progress lines and error selection
+// follow the same order the old serial loops produced. Output is
+// byte-identical to the serial path at any worker count.
+type sweeper struct {
+	opts   Options
+	grid   *sweep.Grid[*semicont.Result]
+	labels []string // labels[cell] names the cell in errors
+	cells  [][]*semicont.Result
+	subErr error // first submission error, reported by wait
+}
+
+func newSweeper(opts Options) *sweeper {
+	return &sweeper{opts: opts, grid: sweep.NewGrid[*semicont.Result](opts.Pool)}
+}
+
+// cellRef is a handle to one submitted cell; its results become
+// available after wait.
+type cellRef struct {
+	w   *sweeper
+	idx int
+}
+
+func (c cellRef) results() []*semicont.Result { return c.w.cells[c.idx] }
+
+// cell submits one scenario's trials. label names the cell in error
+// messages (the old per-point loops' "%s at x=%g" context).
+func (w *sweeper) cell(label string, sc semicont.Scenario) cellRef {
+	if w.subErr != nil {
+		return cellRef{}
+	}
+	idx, err := semicont.SubmitTrials(w.grid, sc, w.opts.Trials)
+	if err != nil {
+		w.subErr = fmt.Errorf("experiments: %s: %w", label, err)
+		return cellRef{}
+	}
+	w.labels = append(w.labels, label)
+	return cellRef{w: w, idx: idx}
+}
+
+// rawCell submits a cell whose trials need custom seeding (Failover
+// perturbs seeds its own way rather than via TrialScenario).
+func (w *sweeper) rawCell(label string, trials int, run func(trial int) (*semicont.Result, error)) cellRef {
+	if w.subErr != nil {
+		return cellRef{}
+	}
+	idx := w.grid.Cell(trials, run)
+	w.labels = append(w.labels, label)
+	return cellRef{w: w, idx: idx}
+}
+
+// wait drains the grid. The first failure in (cell, trial) submission
+// order comes back wrapped with its cell's label — the same error the
+// serial loops would have stopped at.
+func (w *sweeper) wait() error {
+	if w.subErr != nil {
+		return w.subErr
+	}
+	cells, err := w.grid.Wait()
+	if err != nil {
+		var ce *sweep.CellError
+		if errors.As(err, &ce) {
+			return fmt.Errorf("experiments: %s: %w", w.labels[ce.Cell], ce.Err)
+		}
+		return err
+	}
+	w.cells = cells
+	return nil
+}
+
+// seriesRef is a handle to one submitted curve: a scenario family over
+// an x grid, materializable under any per-result metric after wait.
+type seriesRef struct {
+	w     *sweeper
+	name  string
+	xs    []float64
+	cells []cellRef
+}
+
+// series submits one curve's scenarios, applying the experiment-wide
+// horizon, seed, and audit options exactly as the serial curve helper
+// did.
+func (w *sweeper) series(name string, xs []float64, mk func(x float64) semicont.Scenario) seriesRef {
+	refs := make([]cellRef, len(xs))
+	for i, x := range xs {
+		sc := mk(x)
+		sc.HorizonHours = w.opts.HorizonHours
+		sc.Seed = w.opts.Seed
+		sc.Audit = w.opts.Audit
+		refs[i] = w.cell(fmt.Sprintf("%s at x=%g", name, x), sc)
+	}
+	return seriesRef{w: w, name: name, xs: xs, cells: refs}
+}
+
+// metric materializes the series under the given measure, one progress
+// line per point. A series can be materialized under several metrics —
+// the shared cells are run once (the serial path re-ran them per
+// metric, with identical scenarios and therefore identical results).
+func (s seriesRef) metric(metric func(*semicont.Result) float64) stats.Series {
+	out := stats.Series{Name: s.name}
+	for i, x := range s.xs {
+		var sample stats.Sample
+		for _, r := range s.cells[i].results() {
+			sample.Add(metric(r))
+		}
+		out.Points = append(out.Points, stats.FromSample(x, &sample))
+		s.w.opts.Progress("  %s x=%g value=%.4f ±%.4f", s.name, x, sample.Mean(), sample.CI95())
+	}
+	return out
+}
+
+// utilization materializes the paper's headline metric.
+func (s seriesRef) utilization() stats.Series {
+	return s.metric(func(r *semicont.Result) float64 { return r.Utilization })
+}

@@ -1,0 +1,137 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPushPopEmpty: on an empty queue the pushed event comes straight
+// back and the queue stays empty.
+func TestPushPopEmpty(t *testing.T) {
+	var q Queue[int]
+	tm, v, ok := q.PushPop(3, 7)
+	if !ok || tm != 3 || v != 7 {
+		t.Fatalf("PushPop on empty = (%v, %d, %v), want (3, 7, true)", tm, v, ok)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len() = %d after empty PushPop, want 0", q.Len())
+	}
+}
+
+// TestPushPopTieBreak: on a time tie the queued event wins — it was
+// pushed first, so FIFO order delivers it before the new one.
+func TestPushPopTieBreak(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 1)
+	tm, v, ok := q.PushPop(5, 2)
+	if !ok || tm != 5 || v != 1 {
+		t.Fatalf("PushPop tie = (%v, %d, %v), want the queued event (5, 1, true)", tm, v, ok)
+	}
+	if tm, v, _ := q.Pop(); tm != 5 || v != 2 {
+		t.Fatalf("remaining event = (%v, %d), want (5, 2)", tm, v)
+	}
+}
+
+// TestPushPopEarlier: a strictly earlier event bypasses the heap.
+func TestPushPopEarlier(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 1)
+	if tm, v, _ := q.PushPop(4, 2); tm != 4 || v != 2 {
+		t.Fatalf("PushPop earlier = (%v, %d), want (4, 2)", tm, v)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", q.Len())
+	}
+}
+
+// Property: PushPop is observationally identical to Push followed by
+// Pop. Two queues receive the same operation stream — one fused, one
+// split — and every return value and subsequent drain must match.
+func TestPushPopEquivalence(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		var fused, split Queue[int]
+		for i, op := range ops {
+			tm := float64(op % 50) // plenty of time collisions
+			switch op % 3 {
+			case 0, 1: // plain push
+				fused.Push(tm, i)
+				split.Push(tm, i)
+			case 2: // fused vs split pop-with-replacement
+				ft, fv, fok := fused.PushPop(tm, i)
+				split.Push(tm, i)
+				st, sv, sok := split.Pop()
+				if ft != st || fv != sv || fok != sok {
+					return false
+				}
+			}
+			if fused.Len() != split.Len() {
+				return false
+			}
+		}
+		for {
+			ft, fv, fok := fused.Pop()
+			st, sv, sok := split.Pop()
+			if ft != st || fv != sv || fok != sok {
+				return false
+			}
+			if !fok {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- benchmarks (baselines in BENCH_queue.json) ---
+
+func benchmarkPushPopCycle(b *testing.B, n int) {
+	var q Queue[int]
+	// Pseudo-random but deterministic times, like the event list's mix
+	// of near-term wakes and far-future arrivals.
+	tm := func(i int) float64 { return float64((i * 2654435761) % 99991) }
+	for i := 0; i < n; i++ {
+		q.Push(tm(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, v, _ := q.Pop()
+		q.Push(t+float64(v%13), v)
+	}
+}
+
+func benchmarkReplace(b *testing.B, n int) {
+	var q Queue[int]
+	tm := func(i int) float64 { return float64((i * 2654435761) % 99991) }
+	for i := 0; i < n; i++ {
+		q.Push(tm(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, v, _ := q.PushPop(tm(i)+1, i)
+		_ = t
+		_ = v
+	}
+}
+
+func BenchmarkQueuePushPop1e3(b *testing.B) { benchmarkPushPopCycle(b, 1_000) }
+func BenchmarkQueuePushPop1e5(b *testing.B) { benchmarkPushPopCycle(b, 100_000) }
+func BenchmarkQueueReplace1e3(b *testing.B) { benchmarkReplace(b, 1_000) }
+func BenchmarkQueueReplace1e5(b *testing.B) { benchmarkReplace(b, 100_000) }
+
+func BenchmarkQueueFill1e3(b *testing.B) { benchmarkFill(b, 1_000) }
+func BenchmarkQueueFill1e5(b *testing.B) { benchmarkFill(b, 100_000) }
+
+func benchmarkFill(b *testing.B, n int) {
+	var q Queue[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for j := 0; j < n; j++ {
+			q.Push(float64((j*2654435761)%99991), j)
+		}
+	}
+}

@@ -11,10 +11,22 @@ package simtime
 
 // Queue is a min-heap of events carrying payloads of type T.
 // The zero value is an empty queue ready for use.
+//
+// The heap is 4-ary rather than binary: sift-down — the cost of every
+// Pop — visits a quarter as many levels at the price of three extra
+// comparisons per level, which wins on modern hardware because each
+// level is a dependent cache miss while the sibling comparisons are
+// not. Arity is invisible in the results: (time, seq) is a strict total
+// order (seq is unique), and a heap of any arity pops a strict total
+// order in exactly sorted order, so event delivery is bit-identical to
+// the binary heap's.
 type Queue[T any] struct {
 	items []item[T]
 	seq   uint64
 }
+
+// arity is the heap's branching factor.
+const arity = 4
 
 type item[T any] struct {
 	time    float64
@@ -62,6 +74,29 @@ func (q *Queue[T]) Pop() (t float64, v T, ok bool) {
 	return top.time, top.payload, true
 }
 
+// PushPop schedules payload v at time t and immediately removes the
+// earliest event — exactly equivalent to Push(t, v) followed by Pop(),
+// including the FIFO tie-break (the new event gets the next sequence
+// number, so it loses time ties to everything already queued). It is
+// the fast path for the pop-then-push-wake cycle that dominates the
+// engine's event loop: when the new event is the earliest it never
+// touches the heap at all, and otherwise it replaces the root with a
+// single sift-down instead of an up-sift plus a down-sift.
+// ok is always true: the queue momentarily holds at least the new event.
+func (q *Queue[T]) PushPop(t float64, v T) (float64, T, bool) {
+	q.seq++
+	if len(q.items) == 0 || t < q.items[0].time {
+		// The new event is strictly earliest (on a time tie the queued
+		// root has the smaller seq and wins), so it would be popped
+		// right back out.
+		return t, v, true
+	}
+	top := q.items[0]
+	q.items[0] = item[T]{time: t, seq: q.seq, payload: v}
+	q.down(0)
+	return top.time, top.payload, true
+}
+
 // Reset empties the queue, retaining its backing storage for reuse.
 func (q *Queue[T]) Reset() {
 	var zero item[T]
@@ -82,7 +117,7 @@ func (q *Queue[T]) less(i, j int) bool {
 
 func (q *Queue[T]) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / arity
 		if !q.less(i, parent) {
 			break
 		}
@@ -94,15 +129,21 @@ func (q *Queue[T]) up(i int) {
 func (q *Queue[T]) down(i int) {
 	n := len(q.items)
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		first := arity*i + 1
+		if first >= n {
+			return
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		smallest := first
+		end := first + arity
+		if end > n {
+			end = n
 		}
-		if smallest == i {
+		for c := first + 1; c < end; c++ {
+			if q.less(c, smallest) {
+				smallest = c
+			}
+		}
+		if !q.less(smallest, i) {
 			return
 		}
 		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]

@@ -1,8 +1,8 @@
 package semicont
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"semicont/internal/audit"
@@ -12,6 +12,7 @@ import (
 	"semicont/internal/placement"
 	"semicont/internal/rng"
 	"semicont/internal/stats"
+	"semicont/internal/sweep"
 	"semicont/internal/workload"
 )
 
@@ -322,8 +323,16 @@ func Run(sc Scenario) (*Result, error) {
 		cfg.ReceiveCap = pol.receiveCap()
 	}
 
-	eng, err := core.NewEngine(cfg, cat, lay, gen)
-	if err != nil {
+	// Engines come from a pool: trial workers reuse one engine's event
+	// queue, request freelist, and scratch across trials (Reset makes it
+	// observationally identical to a fresh engine). An engine is returned
+	// to the pool only after a successful run — error paths may leave it
+	// mid-state, and errors are too rare to be worth salvaging from.
+	eng, _ := enginePool.Get().(*core.Engine)
+	if eng == nil {
+		eng = new(core.Engine)
+	}
+	if err := eng.Reset(cfg, cat, lay, gen); err != nil {
 		return nil, err
 	}
 	if sc.Observer != nil {
@@ -407,8 +416,12 @@ func Run(sc Scenario) (*Result, error) {
 	if auditor != nil {
 		res.AuditedEvents = int64(auditor.Events())
 	}
+	enginePool.Put(eng)
 	return res, nil
 }
+
+// enginePool recycles engines across runs; see Run.
+var enginePool sync.Pool
 
 func placementStrategy(p Policy) placement.Strategy {
 	switch p.Placement {
@@ -456,51 +469,68 @@ type Aggregate struct {
 	Migrations  stats.Sample
 }
 
-// RunTrials executes n independent trials (the trial index perturbs the
-// seed) concurrently and aggregates the headline metrics. Trials are
-// deterministic individually, so the aggregate is reproducible
-// regardless of scheduling.
-func RunTrials(sc Scenario, n int) (*Aggregate, error) {
+// trialSeedLabel decouples per-trial seed streams from the scenario
+// seed ("trial").
+const trialSeedLabel uint64 = 0x7472_69616c
+
+// TrialScenario returns sc reseeded for one trial — the exact
+// perturbation RunTrials applies, exposed so sweep cells submitted
+// directly reproduce its trials bit-identically.
+func TrialScenario(sc Scenario, trial int) Scenario {
+	sc.Seed = rng.DeriveSeed(sc.Seed, trialSeedLabel, uint64(trial))
+	return sc
+}
+
+// SubmitTrials submits one scenario's n trials as a cell on g and
+// returns the cell's index into Wait's results. Experiment sweeps use
+// this to flatten their whole (cell × trial) matrix onto one pool
+// instead of fanning out per cell.
+func SubmitTrials(g *sweep.Grid[*Result], sc Scenario, n int) (int, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("semicont: trial count must be positive, got %d", n)
+		return 0, fmt.Errorf("semicont: trial count must be positive, got %d", n)
 	}
 	if sc.Observer != nil {
-		return nil, fmt.Errorf("semicont: observers are per-run; attach one via Run instead")
+		return 0, fmt.Errorf("semicont: observers are per-run; attach one via Run instead")
 	}
-	results := make([]*Result, n)
-	errs := make([]error, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				trial := sc
-				trial.Seed = rng.DeriveSeed(sc.Seed, 0x7472_69616c, uint64(i)) // "trial"
-				results[i], errs[i] = Run(trial)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+	return g.Cell(n, func(trial int) (*Result, error) {
+		return Run(TrialScenario(sc, trial))
+	}), nil
+}
+
+// Summarize aggregates one cell's in-order trial results.
+func Summarize(sc Scenario, results []*Result) *Aggregate {
 	agg := &Aggregate{Scenario: sc, Results: results}
 	for _, r := range results {
 		agg.Utilization.Add(r.Utilization)
 		agg.Rejection.Add(r.RejectionRatio)
 		agg.Migrations.Add(float64(r.Migrations))
 	}
-	return agg, nil
+	return agg
+}
+
+// RunTrials executes n independent trials (the trial index perturbs the
+// seed) concurrently and aggregates the headline metrics. Trials are
+// deterministic individually and aggregated in trial order, so the
+// result is reproducible regardless of scheduling.
+func RunTrials(sc Scenario, n int) (*Aggregate, error) {
+	return RunTrialsOn(nil, sc, n)
+}
+
+// RunTrialsOn is RunTrials on a caller-supplied worker pool (nil gets a
+// private GOMAXPROCS-sized one); sweeps sharing one pool across many
+// scenarios bound total concurrency in one place.
+func RunTrialsOn(p *sweep.Pool, sc Scenario, n int) (*Aggregate, error) {
+	g := sweep.NewGrid[*Result](p)
+	if _, err := SubmitTrials(g, sc, n); err != nil {
+		return nil, err
+	}
+	cells, err := g.Wait()
+	if err != nil {
+		var ce *sweep.CellError
+		if errors.As(err, &ce) {
+			return nil, ce.Err // first trial error in index order, as before
+		}
+		return nil, err
+	}
+	return Summarize(sc, cells[0]), nil
 }
