@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		system    = flag.String("system", "small", `system: "small", "large", or "svbr:<k>" for a single server`)
+		system    = flag.String("system", "small", `system: "small", "large", "scale:<n>" (n servers at 300 Mb/s), or "svbr:<k>" for a single server`)
 		policy    = flag.String("policy", "", "paper policy P1..P8 (overrides the individual knobs)")
 		placement = flag.String("placement", "even", "placement: even, predictive, partial")
 		migration = flag.Bool("migration", false, "enable dynamic request migration")
@@ -76,6 +76,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "write an event trace CSV to this file (single trial only)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking (slow)")
 		auditOn   = flag.Bool("audit", false, "attach the invariant auditor: every event is checked against the model's conservation laws; a violation aborts the run with a structured error")
+		auditSamp = flag.Int("audit-sample", 0, "with -audit, snapshot-check only every k-th event (0 or 1 = every event); deterministic from the event sequence, keeps audited large runs feasible")
+		statsOn   = flag.Bool("stats", false, "record per-request distributions (wait, retry sojourn, glitch, migrations, degraded park) into O(1)-memory quantile sketches and print p50/p95/p99")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulation jobs for -trials and -experiment (0 = GOMAXPROCS); results are identical at any setting")
 		expt      = flag.String("experiment", "", `run registered experiments: an id, a comma list, or "all" (see -list-experiments); all share one -parallel pool`)
 		listExp   = flag.Bool("list-experiments", false, "list registered experiments and exit")
@@ -242,6 +244,8 @@ func main() {
 		Faults:          fcfg,
 		CheckInvariants: *check,
 		Audit:           *auditOn,
+		AuditSample:     *auditSamp,
+		Stats:           *statsOn,
 	}
 
 	if *traceOut != "" {
@@ -287,6 +291,7 @@ func main() {
 	fmt.Printf("utilization      %s\n", agg.Utilization.String())
 	fmt.Printf("rejection ratio  %s\n", agg.Rejection.String())
 	fmt.Printf("migrations       %s\n", agg.Migrations.String())
+	printDist(agg.Dist)
 }
 
 // runExperiments runs registered experiments by id ("all" runs the full
@@ -344,7 +349,10 @@ func parseSystem(s string) (semicont.System, error) {
 	if _, err := fmt.Sscanf(s, "svbr:%d", &k); err == nil && k > 0 {
 		return semicont.SingleServer(k), nil
 	}
-	return semicont.System{}, fmt.Errorf(`unknown system %q (want "small", "large", or "svbr:<k>")`, s)
+	if _, err := fmt.Sscanf(s, "scale:%d", &k); err == nil && k > 0 {
+		return semicont.ScaleSystem(k), nil
+	}
+	return semicont.System{}, fmt.Errorf(`unknown system %q (want "small", "large", "scale:<n>", or "svbr:<k>")`, s)
 }
 
 func parsePolicy(name string) (semicont.Policy, error) {
@@ -414,7 +422,29 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 			r.PlacementShortfall, r.PlacedCopies)
 	}
 	if sc.Audit {
-		fmt.Printf("audit              %d events checked, 0 violations\n", r.AuditedEvents)
+		if sc.AuditSample > 1 {
+			fmt.Printf("audit              %d events snapshot-checked (every %dth), 0 violations\n",
+				r.AuditedEvents, sc.AuditSample)
+		} else {
+			fmt.Printf("audit              %d events checked, 0 violations\n", r.AuditedEvents)
+		}
+	}
+	printDist(r.Dist)
+}
+
+// printDist renders the streaming distribution sketches, one line per
+// non-empty channel (nil unless the run had -stats).
+func printDist(d *semicont.DistStats) {
+	if d == nil {
+		return
+	}
+	for _, c := range d.Channels() {
+		if c.Sketch.N() == 0 {
+			continue
+		}
+		q := c.Sketch.Summary()
+		fmt.Printf("dist %-14s n=%d p50=%.4f p95=%.4f p99=%.4f max=%.4f\n",
+			c.Name, c.Sketch.N(), q.P50, q.P95, q.P99, c.Sketch.Max())
 	}
 }
 

@@ -1,0 +1,105 @@
+package semicont
+
+import (
+	"fmt"
+
+	"semicont/internal/core"
+	"semicont/internal/stats"
+)
+
+// DistStats carries the streaming distribution sketches of one run —
+// or, after Merge, of several trials. Each field is a deterministic
+// quantile sketch (see internal/stats.Sketch) over one per-request
+// observation channel; memory is O(observed value range), independent
+// of request count, which is what lets 10^7-request trials run in
+// bounded memory.
+type DistStats struct {
+	// Wait is the admission wait in seconds: 0 for requests admitted on
+	// arrival, the queueing delay for retry-queue admissions.
+	Wait stats.Sketch
+	// RetrySojourn is the time rejected arrivals spent in the retry
+	// queue, whether the episode ended in admission or reneging.
+	RetrySojourn stats.Sketch
+	// Glitch is the viewer-visible interruption in seconds: unplayed
+	// remainder for degraded-mode drops, catch-up deficit for
+	// intermittent underruns.
+	Glitch stats.Sketch
+	// Migrations is the per-stream lifetime migration count, observed
+	// when a stream leaves the cluster.
+	Migrations stats.Sketch
+	// Park is the time streams spent in degraded-mode playback.
+	Park stats.Sketch
+}
+
+// bind attaches the sketches to the engine's observation channels.
+func (d *DistStats) bind(eng *core.Engine) {
+	eng.SetAccumulator(core.ObsWait, &d.Wait)
+	eng.SetAccumulator(core.ObsRetrySojourn, &d.RetrySojourn)
+	eng.SetAccumulator(core.ObsGlitch, &d.Glitch)
+	eng.SetAccumulator(core.ObsMigrations, &d.Migrations)
+	eng.SetAccumulator(core.ObsPark, &d.Park)
+}
+
+// Merge folds o's sketches into d. Sketch merging is bit-for-bit
+// commutative and associative, so any merge order over the same trials
+// yields an identical aggregate; Summarize merges in trial-submission
+// order regardless of worker scheduling.
+func (d *DistStats) Merge(o *DistStats) {
+	if o == nil {
+		return
+	}
+	d.Wait.Merge(&o.Wait)
+	d.RetrySojourn.Merge(&o.RetrySojourn)
+	d.Glitch.Merge(&o.Glitch)
+	d.Migrations.Merge(&o.Migrations)
+	d.Park.Merge(&o.Park)
+}
+
+// Equal reports bit-for-bit equality of every sketch. Determinism tests
+// use it: Result values carrying *DistStats cannot be compared with ==
+// (that would compare pointer identity).
+func (d *DistStats) Equal(o *DistStats) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	return d.Wait.Equal(&o.Wait) &&
+		d.RetrySojourn.Equal(&o.RetrySojourn) &&
+		d.Glitch.Equal(&o.Glitch) &&
+		d.Migrations.Equal(&o.Migrations) &&
+		d.Park.Equal(&o.Park)
+}
+
+// Channels returns the sketches with their report labels, in a fixed
+// order, for CLIs and tables.
+func (d *DistStats) Channels() []struct {
+	Name   string
+	Sketch *stats.Sketch
+} {
+	return []struct {
+		Name   string
+		Sketch *stats.Sketch
+	}{
+		{"wait", &d.Wait},
+		{"retry sojourn", &d.RetrySojourn},
+		{"glitch", &d.Glitch},
+		{"migrations", &d.Migrations},
+		{"degraded park", &d.Park},
+	}
+}
+
+// String renders one line per non-empty channel.
+func (d *DistStats) String() string {
+	out := ""
+	for _, c := range d.Channels() {
+		if c.Sketch.N() == 0 {
+			continue
+		}
+		q := c.Sketch.Summary()
+		out += fmt.Sprintf("%-14s n=%d p50=%.4f p95=%.4f p99=%.4f max=%.4f\n",
+			c.Name, c.Sketch.N(), q.P50, q.P95, q.P99, c.Sketch.Max())
+	}
+	if out == "" {
+		return "(no observations)\n"
+	}
+	return out
+}

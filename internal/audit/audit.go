@@ -86,14 +86,17 @@ type Auditor struct {
 	storageUsed []float64        // static + dynamic storage per server, Mb
 	rescued     map[int64]bool   // requests moved by failure rescue (hop budget waived)
 
-	// Fault model, re-derived from taps and event records: per-server
-	// active stream counts and failed flags as of the last event (the
-	// state a failure event's dispositions must account for), and the
-	// running fail/recover tallies.
-	lastActive []int
-	lastFailed []bool
-	failures   int64
-	recoveries int64
+	// Fault model. down mirrors per-server up/down state exactly — it
+	// is driven by the always-on Failure/Recovery taps, so it stays
+	// correct under snapshot sampling. lastActive holds per-server
+	// active stream counts as of the last *recorded* event; with
+	// sampling it can be stale, so checks that need the
+	// immediately-previous event's state gate on lastEventSeq.
+	lastActive   []int
+	down         []bool
+	lastEventSeq uint64
+	failures     int64
+	recoveries   int64
 
 	// Current event context, established by BeginEvent, attributed to
 	// violations raised by in-event taps.
@@ -159,6 +162,7 @@ func (a *Auditor) Begin(b core.AuditBegin) error {
 		a.holders[v] = set
 	}
 	a.storageUsed = append([]float64(nil), b.StaticStorage...)
+	a.down = make([]bool, len(b.StaticStorage))
 	a.effMaxHops = core.UnlimitedHops
 	a.effMaxChain = 1
 	if m := b.Config.Migration; m.Enabled {
@@ -190,15 +194,16 @@ func (a *Auditor) Event(rec core.AuditEventRecord) error {
 	a.events++
 	if a.lastActive == nil {
 		a.lastActive = make([]int, len(rec.Servers))
-		a.lastFailed = make([]bool, len(rec.Servers))
 	}
 	defer func() {
 		// Remember the post-event state: the next failure event's
-		// dispositions are checked against these counts.
+		// dispositions are checked against these counts (valid only
+		// when that event immediately follows this one — see
+		// lastEventSeq).
 		for si := range rec.Servers {
 			a.lastActive[si] = len(rec.Servers[si].Requests)
-			a.lastFailed[si] = rec.Servers[si].Failed
 		}
+		a.lastEventSeq = rec.Seq
 	}()
 	bview := a.cfg.ViewRate
 	for si := range rec.Servers {
@@ -387,17 +392,30 @@ func (a *Auditor) Migration(t float64, req int64, video int32, from, to int32, h
 func (a *Auditor) Failure(t float64, server int32, rescued, dropped, parked int) error {
 	a.failures++
 	sid := int(server)
-	was := 0
-	if sid < len(a.lastActive) {
-		was = a.lastActive[sid]
-	}
-	if sid < len(a.lastFailed) && a.lastFailed[sid] {
+	if sid < len(a.down) && a.down[sid] {
 		return a.fail("fault-state", sid, 0, "failure of a server already failed")
 	}
-	if rescued < 0 || dropped < 0 || parked < 0 || rescued+dropped+parked != was {
+	if sid < len(a.down) {
+		a.down[sid] = true
+	}
+	if rescued < 0 || dropped < 0 || parked < 0 {
 		return a.fail("failure-accounting", sid, 0,
-			"%d rescued + %d dropped + %d parked != %d streams active at failure",
-			rescued, dropped, parked, was)
+			"negative disposition: %d rescued, %d dropped, %d parked", rescued, dropped, parked)
+	}
+	// The full accounting identity needs the stream count as of the
+	// event just before this one. Under snapshot sampling lastActive
+	// may be older than that, so the check runs only when the previous
+	// event was actually recorded (always true without sampling).
+	if a.lastEventSeq == a.curSeq-1 {
+		was := 0
+		if sid < len(a.lastActive) {
+			was = a.lastActive[sid]
+		}
+		if rescued+dropped+parked != was {
+			return a.fail("failure-accounting", sid, 0,
+				"%d rescued + %d dropped + %d parked != %d streams active at failure",
+				rescued, dropped, parked, was)
+		}
 	}
 	return nil
 }
@@ -408,9 +426,10 @@ func (a *Auditor) Failure(t float64, server int32, rescued, dropped, parked int)
 func (a *Auditor) Recovery(t float64, server int32, cold bool) error {
 	a.recoveries++
 	sid := int(server)
-	if sid >= len(a.lastFailed) || !a.lastFailed[sid] {
+	if sid >= len(a.down) || !a.down[sid] {
 		return a.fail("fault-state", sid, 0, "recovery of a server that was not failed")
 	}
+	a.down[sid] = false
 	if cold {
 		for _, set := range a.holders {
 			delete(set, server)
@@ -485,7 +504,7 @@ func (a *Auditor) End(t float64, m core.Metrics) error {
 			a.failures, a.recoveries, m.Failures, m.Recoveries)
 	}
 	downNow := int64(0)
-	for _, f := range a.lastFailed {
+	for _, f := range a.down {
 		if f {
 			downNow++
 		}

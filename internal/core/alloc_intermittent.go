@@ -57,6 +57,9 @@ func (e *Engine) allocateIntermittent(s *server, t float64) {
 		if !r.glitched && r.sent-r.viewedAt(t, bview) < -dataEps {
 			r.glitched = true
 			e.metrics.GlitchedStreams++
+			// The catch-up deficit at detection: how far playback ran
+			// ahead of delivery, in seconds of viewing.
+			e.observe(ObsGlitch, (r.viewedAt(t, bview)-r.sent)/bview)
 		}
 		e.cand.Add(r.bufferAt(t, bview), r.id, int32(i))
 	}
@@ -108,6 +111,9 @@ func (e *Engine) pauseIntermittent(r *request, buf float64) {
 	if !r.glitched && buf <= dataEps && !r.finished() {
 		r.glitched = true
 		e.metrics.GlitchedStreams++
+		// The pause itself is the detection point: the buffer just hit
+		// empty, so the deficit observed here is zero.
+		e.observe(ObsGlitch, 0)
 	}
 }
 

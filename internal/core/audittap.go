@@ -184,6 +184,23 @@ type AuditTap interface {
 // SetAuditTap installs an audit tap (may be nil). Call before Start.
 func (e *Engine) SetAuditTap(tap AuditTap) { e.audit = tap }
 
+// SetAuditSampling makes the attached auditor's per-event snapshot
+// check run only on every k-th event (k ≤ 1 restores auditing of every
+// event). Sampling is keyed to the engine's deterministic event
+// sequence number, never wall time, so a sampled audit examines the
+// same events on every platform, GOMAXPROCS, and worker count. The
+// cheap stateful taps — BeginEvent, Admission, Migration, Failure,
+// Recovery, Chain, Replication, and the feed-order taps — always fire,
+// keeping the auditor's replica/storage/fault mirrors exact; only the
+// full cluster snapshot (the expensive part, linear in cluster size) is
+// sampled. Reset clears the rate.
+func (e *Engine) SetAuditSampling(every int) {
+	if every < 0 {
+		every = 0
+	}
+	e.auditEvery = uint64(every)
+}
+
 // AuditErr returns the first audit violation raised so far (nil when
 // clean). Step-based drivers consult it after Step returns false; Run
 // surfaces it as its error.

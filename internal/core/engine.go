@@ -9,6 +9,7 @@ import (
 	"semicont/internal/placement"
 	"semicont/internal/rng"
 	"semicont/internal/simtime"
+	"semicont/internal/stats"
 	"semicont/internal/workload"
 )
 
@@ -102,10 +103,15 @@ type Engine struct {
 	audit            AuditTap
 	auditErr         error
 	auditSeq         uint64
+	auditEvery       uint64
 	auditServers     []AuditServerState
 	spareGrantBuf    []SpareGrant
 	intermitGrantBuf []IntermittentGrant
 	spareMisorder    bool
+
+	// Streaming observation channels (see observe.go). Always bound —
+	// stats.Discard by default — so recording never branches.
+	obsAcc [NumObsKinds]stats.Accumulator
 
 	// Bandwidth-allocation policy, resolved from the registry by
 	// Config.AllocatorName (see allocator.go).
@@ -224,7 +230,9 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 	e.audit = nil
 	e.auditErr = nil
 	e.auditSeq = 0
+	e.auditEvery = 0
 	e.auditServers = nil
+	e.discardObs()
 	e.spareGrantBuf = e.spareGrantBuf[:0]
 	e.intermitGrantBuf = e.intermitGrantBuf[:0]
 	e.spareMisorder = false
@@ -467,7 +475,12 @@ func (e *Engine) Step() bool {
 		e.checkInvariants()
 	}
 	if e.audit != nil {
-		if e.auditErr == nil {
+		// The full post-event snapshot is the expensive audit step;
+		// with sampling enabled only every auditEvery-th event builds
+		// one. The decision is keyed to the deterministic event
+		// sequence number — never wall time — so sampled audits
+		// reproduce bit-identically at any GOMAXPROCS or worker count.
+		if e.auditErr == nil && (e.auditEvery <= 1 || e.auditSeq%e.auditEvery == 0) {
 			e.auditFail(e.audit.Event(e.auditRecord(akind, aserver, areq)))
 		}
 		if e.auditErr != nil {
@@ -488,9 +501,11 @@ func (e *Engine) handleArrival(t float64) {
 	v := req.Video
 	bufCap, recvCap := e.drawClientCaps()
 	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
+		e.observe(ObsWait, 0)
 		return
 	}
 	if e.admit(v, t, bufCap, recvCap) {
+		e.observe(ObsWait, 0)
 		return
 	}
 	if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
@@ -586,6 +601,7 @@ func (e *Engine) finish(r *request, s *server, t float64) {
 	s.detach(r)
 	e.metrics.Completions++
 	e.metrics.DeliveredBytes += r.sent
+	e.observe(ObsMigrations, float64(r.hops))
 	if e.obs != nil {
 		e.obs.OnFinish(t, r.id, int(r.video), int(s.id))
 	}
@@ -636,6 +652,7 @@ func (e *Engine) handleFailure(s *server, t float64) {
 			s.detach(r)
 			e.metrics.DroppedStreams++
 			e.metrics.DeliveredBytes += r.sent
+			e.observe(ObsMigrations, float64(r.hops))
 			dropped++
 			e.recycle(r)
 			continue

@@ -30,6 +30,7 @@ type retryEntry struct {
 	video    int32
 	bufCap   float64
 	recvCap  float64
+	arrived  float64 // arrival time, for the sojourn observation
 	deadline float64 // reneging time: arrival + patience
 }
 
@@ -133,6 +134,7 @@ func (e *Engine) enqueueRetry(v int, t, bufCap, recvCap float64) {
 	en := &retryEntry{
 		id: e.nextRetryID, video: int32(v),
 		bufCap: bufCap, recvCap: recvCap,
+		arrived:  t,
 		deadline: t + e.retryPatience(),
 	}
 	e.retryQ[en.id] = en
@@ -162,11 +164,14 @@ func (e *Engine) handleRetry(id int64, t float64) {
 	if e.admit(v, t, en.bufCap, en.recvCap) {
 		delete(e.retryQ, id)
 		e.metrics.RetriedAdmissions++
+		e.observe(ObsWait, t-en.arrived)
+		e.observe(ObsRetrySojourn, t-en.arrived)
 		return
 	}
 	if t+timeEps >= en.deadline {
 		delete(e.retryQ, id)
 		e.metrics.Reneged++
+		e.observe(ObsRetrySojourn, t-en.arrived)
 		if e.obs != nil {
 			e.obs.OnReject(t, v)
 		}
@@ -182,6 +187,7 @@ func (e *Engine) park(r *request, s *server, t float64) {
 	s.detach(r)
 	r.rate = 0
 	r.parked = true
+	r.parkStart = t
 	if e.parked == nil {
 		e.parked = make(map[int64]*request)
 	}
@@ -230,6 +236,7 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 				r.suspendedUntil = t + d
 			}
 			e.metrics.DegradedResumed++
+			e.observe(ObsPark, t-r.parkStart)
 			e.reschedule(best, t)
 			return
 		}
@@ -243,6 +250,9 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 		e.metrics.DegradedGlitches++
 		e.metrics.DroppedStreams++
 		e.metrics.DeliveredBytes += r.sent
+		e.observe(ObsPark, t-r.parkStart)
+		e.observe(ObsGlitch, (r.size-r.viewedAt(t, bview))/bview)
+		e.observe(ObsMigrations, float64(r.hops))
 		e.recycle(r)
 		return
 	}

@@ -1,0 +1,65 @@
+package core
+
+import "semicont/internal/stats"
+
+// ObsKind indexes the engine's streaming observation channels. Every
+// channel is always bound to an accumulator — stats.Discard by default —
+// so the hot paths record unconditionally and never branch on whether
+// statistics are enabled. Observations are pure accumulation: they read
+// simulation state but never feed back into it, so enabling them cannot
+// perturb a run.
+type ObsKind uint8
+
+const (
+	// ObsWait is the admission wait in seconds: 0 for requests admitted
+	// on arrival, the queueing delay for requests admitted off the
+	// retry queue. Rejected and reneged requests never start playback
+	// and are not observed here (they appear in ObsRetrySojourn and the
+	// rejection counters instead).
+	ObsWait ObsKind = iota
+
+	// ObsRetrySojourn is the seconds a queued request spent in the
+	// admission retry queue, observed when the episode ends — whether
+	// by admission or by reneging.
+	ObsRetrySojourn
+
+	// ObsGlitch is a viewer-visible playback interruption in seconds,
+	// observed at detection time: for a degraded-mode stream dropped
+	// with a dry buffer, the unplayed remainder of the video; for an
+	// intermittent-feed underrun, the catch-up deficit when first seen
+	// (zero when the pause itself is the detection point).
+	ObsGlitch
+
+	// ObsMigrations is a stream's lifetime migration count, observed
+	// once when the stream leaves the cluster (finish or drop).
+	ObsMigrations
+
+	// ObsPark is the seconds a stream spent parked in degraded-mode
+	// playback, observed when the episode ends (readmission or
+	// buffer-dry drop).
+	ObsPark
+
+	// NumObsKinds sizes per-channel arrays.
+	NumObsKinds = int(ObsPark) + 1
+)
+
+// SetAccumulator binds an accumulator to one observation channel. Call
+// it after Reset and before Run; nil restores the discard sink. Reset
+// rebinds every channel to stats.Discard, so pooled engines never leak
+// a previous run's accumulators.
+func (e *Engine) SetAccumulator(k ObsKind, a stats.Accumulator) {
+	if a == nil {
+		a = stats.Discard
+	}
+	e.obsAcc[k] = a
+}
+
+// observe records one observation on channel k.
+func (e *Engine) observe(k ObsKind, x float64) { e.obsAcc[k].Observe(x) }
+
+// discardObs rebinds every channel to the discard sink.
+func (e *Engine) discardObs() {
+	for i := range e.obsAcc {
+		e.obsAcc[i] = stats.Discard
+	}
+}

@@ -65,8 +65,9 @@ type request struct {
 	// every server after a failure, draining its client buffer while it
 	// retries reconnection. parkVer lazily invalidates scheduled park
 	// ticks the same way server.version invalidates wakes.
-	parked  bool
-	parkVer uint64
+	parked    bool
+	parkVer   uint64
+	parkStart float64 // park instant, for the degraded-park observation
 
 	// slot is the request's index within its server's active slice,
 	// maintained for O(1) removal.

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"semicont/internal/sweep"
+)
+
+// scaleOpts shrinks the `*-large` family to test size: half a simulated
+// hour on the 200-server cluster is ~27,000 requests per cell-trial —
+// enough to populate every sketch channel without the multi-minute
+// full-scale horizon.
+func scaleOpts(workers int) Options {
+	return Options{
+		HorizonHours: 0.5,
+		Trials:       2,
+		Seed:         1,
+		Pool:         sweep.New(workers),
+	}
+}
+
+// TestScaleSweepsDeterministicAcrossWorkers extends the worker-count
+// determinism contract to the quantile-reporting experiments: ScaleDist
+// and ScaleFaults carry *DistStats sketches through the sweeper and the
+// trial-merge in distPoint, and the merged quantiles (reached through
+// Point.Q pointers, which DeepEqual follows) must be byte-identical no
+// matter how many workers drain the job list.
+func TestScaleSweepsDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(Options) (*Output, error)
+	}{
+		{"scale-dist", ScaleDist},
+		{"scale-faults", ScaleFaults},
+	}
+	workers := []int{2, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := tc.f(scaleOpts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range serial.Figures[0].Series {
+				for _, p := range s.Points {
+					if p.Q == nil {
+						t.Fatalf("series %q point x=%g has no quantiles", s.Name, p.X)
+					}
+				}
+			}
+			for _, w := range workers {
+				got, err := tc.f(scaleOpts(w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("output diverged between workers=1 and workers=%d", w)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"semicont/internal/stats"
+)
+
+func quantileSeries() []stats.Series {
+	return []stats.Series{
+		{Name: "util", Points: []stats.Point{
+			{X: 0, Mean: 0.5, CI95: 0.01}, {X: 1, Mean: 0.9, CI95: 0.02}}},
+		{Name: "wait", Points: []stats.Point{
+			{X: 0, Mean: 1.5, CI95: 0.1, Q: &stats.Quantiles{P50: 1.0, P95: 4.0, P99: 9.0}},
+			{X: 1, Mean: 2.5, CI95: 0.2, Q: &stats.Quantiles{P50: 2.0, P95: 6.0, P99: 12.0}}}},
+	}
+}
+
+// TestSeriesTableQuantileColumns checks that series carrying quantiles
+// get p50/p95/p99 columns appended after every mean column, and that
+// quantile-free series contribute none (so pre-quantile outputs stay
+// byte-identical — the goldens in golden_test.go pin that directly).
+func TestSeriesTableQuantileColumns(t *testing.T) {
+	tbl, err := SeriesTable("t", "x", quantileSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", "util", "wait", "wait p50", "wait p95", "wait p99"}
+	if len(tbl.Headers) != len(want) {
+		t.Fatalf("headers = %v, want %v", tbl.Headers, want)
+	}
+	for i, h := range want {
+		if tbl.Headers[i] != h {
+			t.Fatalf("header[%d] = %q, want %q", i, tbl.Headers[i], h)
+		}
+	}
+	if got := tbl.Rows[1][3]; got != "2.0000" {
+		t.Errorf("p50 cell = %q, want 2.0000", got)
+	}
+	if got := tbl.Rows[0][5]; got != "9.0000" {
+		t.Errorf("p99 cell = %q, want 9.0000", got)
+	}
+}
+
+func TestSeriesTableWithoutQuantilesUnchanged(t *testing.T) {
+	tbl, err := SeriesTable("t", "x", sampleSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Headers) != 3 {
+		t.Fatalf("quantile-free table grew columns: %v", tbl.Headers)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 3 {
+			t.Fatalf("quantile-free row grew cells: %v", row)
+		}
+	}
+}
+
+func TestSeriesCSVQuantileColumns(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, "x", quantileSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	wantHeader := "x,util_mean,util_ci95,wait_mean,wait_ci95,wait_p50,wait_p95,wait_p99"
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if !strings.HasSuffix(lines[1], "1.000000,4.000000,9.000000") {
+		t.Errorf("row 0 = %q missing quantile cells", lines[1])
+	}
+
+	// A point with a nil Q in a quantile-bearing series renders empty
+	// cells rather than zeros.
+	series := quantileSeries()
+	series[1].Points[1].Q = nil
+	b.Reset()
+	if err := WriteSeriesCSV(&b, "x", series); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if !strings.HasSuffix(lines[2], ",,,") {
+		t.Errorf("nil-Q row = %q, want trailing empty cells", lines[2])
+	}
+}

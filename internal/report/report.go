@@ -75,7 +75,11 @@ func pad(s string, w int) string {
 }
 
 // SeriesTable renders a set of curves sharing x values as one table:
-// first column x, one column per series (mean ± CI half-width).
+// first column x, one column per series (mean ± CI half-width). Series
+// carrying quantiles (any point with a non-nil Q) get three extra
+// columns — p50/p95/p99 — appended after all the mean columns, so
+// outputs without quantiles render byte-identically to before quantiles
+// existed and existing columns never reorder.
 func SeriesTable(title, xLabel string, series []stats.Series) (*Table, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("report: no series")
@@ -86,7 +90,13 @@ func SeriesTable(title, xLabel string, series []stats.Series) (*Table, error) {
 			return nil, fmt.Errorf("report: series %q has %d points, want %d", s.Name, len(s.Points), n)
 		}
 	}
-	t := &Table{Title: title, Headers: append([]string{xLabel}, names(series)...)}
+	headers := append([]string{xLabel}, names(series)...)
+	for _, s := range series {
+		if hasQuantiles(s) {
+			headers = append(headers, s.Name+" p50", s.Name+" p95", s.Name+" p99")
+		}
+	}
+	t := &Table{Title: title, Headers: headers}
 	for i := 0; i < n; i++ {
 		row := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
 		for _, s := range series {
@@ -96,9 +106,30 @@ func SeriesTable(title, xLabel string, series []stats.Series) (*Table, error) {
 			}
 			row = append(row, fmt.Sprintf("%.4f ±%.4f", p.Mean, p.CI95))
 		}
+		for _, s := range series {
+			if !hasQuantiles(s) {
+				continue
+			}
+			if q := s.Points[i].Q; q != nil {
+				row = append(row,
+					fmt.Sprintf("%.4f", q.P50), fmt.Sprintf("%.4f", q.P95), fmt.Sprintf("%.4f", q.P99))
+			} else {
+				row = append(row, "", "", "")
+			}
+		}
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// hasQuantiles reports whether any point of s carries quantiles.
+func hasQuantiles(s stats.Series) bool {
+	for _, p := range s.Points {
+		if p.Q != nil {
+			return true
+		}
+	}
+	return false
 }
 
 func names(series []stats.Series) []string {
@@ -110,7 +141,9 @@ func names(series []stats.Series) []string {
 }
 
 // WriteSeriesCSV emits curves sharing x values as CSV: an x column, then
-// mean and ci95 columns per series.
+// mean and ci95 columns per series. As in SeriesTable, series carrying
+// quantiles append p50/p95/p99 columns after all the mean/ci pairs, so
+// quantile-free outputs stay byte-identical.
 func WriteSeriesCSV(w io.Writer, xLabel string, series []stats.Series) error {
 	if len(series) == 0 {
 		return fmt.Errorf("report: no series")
@@ -118,6 +151,11 @@ func WriteSeriesCSV(w io.Writer, xLabel string, series []stats.Series) error {
 	cols := []string{xLabel}
 	for _, s := range series {
 		cols = append(cols, s.Name+"_mean", s.Name+"_ci95")
+	}
+	for _, s := range series {
+		if hasQuantiles(s) {
+			cols = append(cols, s.Name+"_p50", s.Name+"_p95", s.Name+"_p99")
+		}
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
@@ -131,6 +169,17 @@ func WriteSeriesCSV(w io.Writer, xLabel string, series []stats.Series) error {
 			}
 			p := s.Points[i]
 			cells = append(cells, fmt.Sprintf("%.6f", p.Mean), fmt.Sprintf("%.6f", p.CI95))
+		}
+		for _, s := range series {
+			if !hasQuantiles(s) {
+				continue
+			}
+			if q := s.Points[i].Q; q != nil {
+				cells = append(cells,
+					fmt.Sprintf("%.6f", q.P50), fmt.Sprintf("%.6f", q.P95), fmt.Sprintf("%.6f", q.P99))
+			} else {
+				cells = append(cells, "", "", "")
+			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
 			return err

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSketch drives two sketches through an arbitrary program of
+// Add/Merge operations decoded from the fuzz input (9-byte chunks: one
+// op byte, eight value bits) and then checks the structural contract:
+// no panics anywhere, NaN/±Inf/negative observations rejected without
+// perturbing state, every quantile — including for an arbitrary,
+// possibly non-finite q — inside [Min, Max], and Quantile monotone over
+// a q grid.
+func FuzzSketch(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x00\xf8\x7f\x01abcdefgh\x02xxxxxxxx"), 0.95)
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\xf0\x7f"), 0.5)
+	f.Add([]byte("\x03ABCDEFGH\x02abcdefgh\x00 \x00\x00\x00\x00\x00\x00\x00"), 0.0)
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		var a, b Sketch
+		for len(data) >= 9 {
+			op := data[0]
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[1:9]))
+			data = data[9:]
+			if op&2 == 2 {
+				a.Merge(&b)
+				continue
+			}
+			tgt := &a
+			if op&1 == 1 {
+				tgt = &b
+			}
+			before := *tgt
+			ok := tgt.Add(v)
+			bad := math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+			if ok == bad {
+				t.Fatalf("Add(%g) = %v, want %v", v, ok, !bad)
+			}
+			if !ok && !tgt.Equal(&before) {
+				t.Fatalf("rejected Add(%g) perturbed sketch", v)
+			}
+			if ok && tgt.N() != before.N()+1 {
+				t.Fatalf("Add(%g): n %d -> %d", v, before.N(), tgt.N())
+			}
+		}
+		for _, s := range []*Sketch{&a, &b} {
+			if s.N() == 0 {
+				if s.Quantile(q) != 0 || s.Quantile(0.5) != 0 {
+					t.Fatal("empty sketch quantile != 0")
+				}
+				continue
+			}
+			if v := s.Quantile(q); v < s.Min() || v > s.Max() {
+				t.Fatalf("Quantile(%g) = %g outside [%g, %g]", q, v, s.Min(), s.Max())
+			}
+			prev := math.Inf(-1)
+			for i := 0; i <= 64; i++ {
+				qq := float64(i) / 64
+				v := s.Quantile(qq)
+				if v < s.Min() || v > s.Max() {
+					t.Fatalf("Quantile(%g) = %g outside [%g, %g]", qq, v, s.Min(), s.Max())
+				}
+				if v < prev {
+					t.Fatalf("Quantile not monotone at q=%g: %g < %g", qq, v, prev)
+				}
+				prev = v
+			}
+		}
+	})
+}

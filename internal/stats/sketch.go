@@ -1,0 +1,300 @@
+package stats
+
+import "math"
+
+// Accumulator is the streaming-observation seam between the simulation
+// hot paths and the statistics layer: one method, no error, no result.
+// The engine records every observation unconditionally into whatever
+// accumulator is bound to a channel — Discard when statistics are off —
+// so recording never branches on configuration. *Sample and *Sketch
+// both implement it.
+type Accumulator interface {
+	// Observe records one observation. Implementations must be O(1)
+	// amortized and must silently ignore values they cannot represent
+	// (the sketch rejects NaN, ±Inf, and negatives).
+	Observe(x float64)
+}
+
+// Discard is the no-op Accumulator observation channels default to.
+var Discard Accumulator = discard{}
+
+type discard struct{}
+
+func (discard) Observe(float64) {}
+
+// Observe implements Accumulator for *Sample.
+func (s *Sample) Observe(x float64) { s.Add(x) }
+
+// Sketch parameters: each binary order of magnitude [2^(k-1), 2^k) is
+// split into 2^sketchSubBits equal-width sub-buckets, giving a relative
+// quantile error of at most 1/2^(sketchSubBits+1) (the bucket midpoint
+// is returned; see Quantile). frexp exponents for positive float64
+// values lie in [-1073, 1024]; the offset keeps bucket indices
+// non-negative.
+const (
+	sketchSubBits    = 5
+	sketchSubBuckets = 1 << sketchSubBits // 32 sub-buckets per octave
+	sketchExpOffset  = 1074
+	sketchMaxIndex   = (1024 + sketchExpOffset + 1) * sketchSubBuckets
+
+	// SketchRelError is the documented worst-case relative error of
+	// Quantile against the exact sorted-slice quantile of the same
+	// observations: half a sub-bucket width over the bucket's smallest
+	// value, 1/64. The property tests in sketch_test.go enforce it.
+	SketchRelError = 1.0 / (2 * sketchSubBuckets)
+)
+
+// Sketch is a deterministic, mergeable quantile sketch over
+// non-negative observations: a histogram of base-2 exponent ranges
+// (via math.Frexp, a bit-exact operation on every platform) split into
+// linear sub-buckets, with exact integer counts.
+//
+// Determinism and mergeability are the design constraints, and both are
+// structural rather than numerical:
+//
+//   - bucket indexing uses only Frexp, exact float subtraction
+//     (Sterbenz: f − 0.5 for f ∈ [0.5, 1)), multiplication by a power
+//     of two, and integer truncation — no library call with
+//     platform-variant rounding, no map iteration anywhere;
+//   - counts are uint64, so Merge is integer addition: bit-for-bit
+//     commutative and associative, which is what lets sweep workers
+//     merge per-trial sketches in submission order and reproduce the
+//     serial result exactly at any worker count;
+//   - the dense count slice always covers exactly the union of observed
+//     bucket index ranges, so the representation after any sequence of
+//     Add/Merge depends only on the multiset of observations, not the
+//     order they arrived in.
+//
+// Zero is counted exactly (its own counter, no bucket), min and max are
+// tracked exactly, and NaN/±Inf/negative observations are rejected.
+// The zero value is an empty sketch ready for use.
+type Sketch struct {
+	n      uint64 // total accepted observations
+	zero   uint64 // observations equal to zero (exact)
+	min    float64
+	max    float64
+	lo     int      // bucket index of counts[0]
+	counts []uint64 // dense counts over [lo, lo+len(counts))
+}
+
+// bucketIndex maps a positive finite value to its bucket index. Every
+// step is bit-exact: Frexp is pure bit manipulation, f−0.5 is exact for
+// f ∈ [0.5, 1), scaling by 2·sketchSubBuckets is a power-of-two
+// multiply, and the int conversion truncates.
+func bucketIndex(x float64) int {
+	f, exp := math.Frexp(x)
+	sub := int((f - 0.5) * (2 * sketchSubBuckets))
+	return (exp+sketchExpOffset)<<sketchSubBits + sub
+}
+
+// bucketMid returns the bucket's midpoint, the representative value
+// Quantile reports. Exact arithmetic again: (64 + 2·sub + 1)/128 is a
+// dyadic rational well inside float64 precision, and Ldexp scales by a
+// power of two.
+func bucketMid(idx int) float64 {
+	exp := idx>>sketchSubBits - sketchExpOffset
+	sub := idx & (sketchSubBuckets - 1)
+	return math.Ldexp(0.5+(float64(sub)+0.5)/(2*sketchSubBuckets), exp)
+}
+
+// Add records one observation. It returns false — and records nothing —
+// for NaN, ±Inf, and negative values.
+func (s *Sketch) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+		return false
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	if x == 0 {
+		s.zero++
+		return true
+	}
+	idx := bucketIndex(x)
+	s.ensure(idx, idx+1)
+	s.counts[idx-s.lo]++
+	return true
+}
+
+// Observe implements Accumulator: Add with rejects ignored.
+func (s *Sketch) Observe(x float64) { s.Add(x) }
+
+// ensure grows counts to cover [lo, hi). Growth allocates exactly the
+// union of the old and requested ranges, keeping the representation a
+// pure function of the observed multiset (no capacity-dependent
+// layout). Observation ranges in practice span a few octaves, so growth
+// is rare and small.
+func (s *Sketch) ensure(lo, hi int) {
+	if s.counts == nil {
+		s.lo = lo
+		s.counts = make([]uint64, hi-lo)
+		return
+	}
+	curHi := s.lo + len(s.counts)
+	if lo >= s.lo && hi <= curHi {
+		return
+	}
+	if s.lo < lo {
+		lo = s.lo
+	}
+	if curHi > hi {
+		hi = curHi
+	}
+	grown := make([]uint64, hi-lo)
+	copy(grown[s.lo-lo:], s.counts)
+	s.lo, s.counts = lo, grown
+}
+
+// N returns the number of accepted observations.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Merge folds o into s. Counts are integer sums and the covered range
+// becomes the exact union, so merging is bit-for-bit commutative and
+// associative: any merge tree over the same sketches yields an
+// identical struct. o is unmodified; a nil or empty o is a no-op.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.n += o.n
+	s.zero += o.zero
+	if len(o.counts) > 0 {
+		s.ensure(o.lo, o.lo+len(o.counts))
+		for i, c := range o.counts {
+			s.counts[o.lo+i-s.lo] += c
+		}
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	if s.counts != nil {
+		c.counts = append([]uint64(nil), s.counts...)
+	}
+	return &c
+}
+
+// Equal reports whether two sketches hold identical state — counts,
+// range, extrema, and totals all bit-for-bit. The determinism tests
+// compare per-worker-count merge results with it.
+func (s *Sketch) Equal(o *Sketch) bool {
+	if s.n != o.n || s.zero != o.zero {
+		return false
+	}
+	if s.n > 0 && (s.min != o.min || s.max != o.max) {
+		return false
+	}
+	if len(s.counts) != len(o.counts) {
+		return false
+	}
+	if len(s.counts) > 0 && s.lo != o.lo {
+		return false
+	}
+	for i, c := range s.counts {
+		if c != o.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset empties the sketch for reuse.
+func (s *Sketch) Reset() { *s = Sketch{} }
+
+// Quantile returns an estimate of the q-quantile of the observed
+// multiset: the midpoint of the bucket holding the element of rank
+// ⌈q·n⌉, clamped to [Min, Max]. Guarantees, enforced by the property
+// tests:
+//
+//   - the result lies in [Min, Max] (exactly Min for q ≤ 0, Max for
+//     q ≥ 1, and 0 is returned exactly when the rank falls among zero
+//     observations);
+//   - relative error against the exact sorted-slice quantile with the
+//     same rank rule is at most SketchRelError;
+//   - Quantile is monotone non-decreasing in q.
+//
+// An empty sketch returns 0; a NaN q is treated as 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if !(q > 0) {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.n {
+		rank = s.n
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	cum := s.zero
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMid(s.lo + i)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Quantiles is the p50/p95/p99 summary the report layer renders as
+// additional columns.
+type Quantiles struct {
+	P50 float64
+	P95 float64
+	P99 float64
+}
+
+// Summary returns the sketch's p50/p95/p99.
+func (s *Sketch) Summary() Quantiles {
+	return Quantiles{P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99)}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The sketch sits on the per-observation hot path of 10^7-request
+// runs; these benches keep Add/Quantile/Merge costs visible in the CI
+// bench-smoke job.
+
+func BenchmarkSketchAdd(b *testing.B) {
+	var s Sketch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(math.Ldexp(float64(i%4096)+0.5, i%20-10))
+	}
+}
+
+func BenchmarkSketchQuantile(b *testing.B) {
+	var s Sketch
+	for i := 0; i < 100_000; i++ {
+		s.Add(math.Ldexp(float64(i%4096)+0.5, i%20-10))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkSketchMerge(b *testing.B) {
+	var a, o Sketch
+	for i := 0; i < 10_000; i++ {
+		a.Add(math.Ldexp(float64(i%4096)+0.5, i%20-10))
+		o.Add(math.Ldexp(float64(i%4096)+0.5, (i+7)%20-10))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := a.Clone()
+		c.Merge(&o)
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// rawValue maps fuzz/quick raw integers onto the observation space the
+// sketch must cover: exact zeros plus positive values spread across
+// ~15 binary orders of magnitude with varied mantissas.
+func rawValue(r uint64) float64 {
+	if r%11 == 0 {
+		return 0
+	}
+	return math.Ldexp(float64(r%4096)+0.5, int(r%40)-20)
+}
+
+func sketchFromRaw(raw []uint32) (*Sketch, []float64) {
+	s := new(Sketch)
+	var vals []float64
+	for _, r := range raw {
+		v := rawValue(uint64(r))
+		if s.Add(v) {
+			vals = append(vals, v)
+		}
+	}
+	return s, vals
+}
+
+// exactQuantile applies the sketch's rank rule (⌈q·n⌉, clamped) to a
+// sorted slice — the reference the sketch is compared against.
+func exactQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if !(q > 0) {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchQuantileWithinBound checks the sketch against exact
+// sorted-slice quantiles on random inputs: the error must stay within
+// the documented SketchRelError bound, and ranks that land on exact
+// zeros must return exactly zero.
+func TestSketchQuantileWithinBound(t *testing.T) {
+	f := func(raw []uint32, qRaw uint16) bool {
+		s, vals := sketchFromRaw(raw)
+		if len(vals) == 0 {
+			return s.Quantile(0.5) == 0
+		}
+		sort.Float64s(vals)
+		q := float64(qRaw) / 65535
+		exact := exactQuantile(vals, q)
+		got := s.Quantile(q)
+		if exact == 0 {
+			return got == 0
+		}
+		if got < s.Min() || got > s.Max() {
+			return false
+		}
+		diff := math.Abs(got - exact)
+		return diff <= exact*SketchRelError*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchQuantileMonotone checks that Quantile(q) never decreases as
+// q grows, on random sketches over a dense q grid.
+func TestSketchQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s, _ := sketchFromRaw(raw)
+		prev := math.Inf(-1)
+		for i := 0; i <= 200; i++ {
+			q := float64(i) / 200
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchMergeCommutesAndAssociates checks bit-for-bit merge
+// commutativity and associativity on random sketches — the property the
+// sweep layer relies on when workers merge per-trial sketches.
+func TestSketchMergeCommutesAndAssociates(t *testing.T) {
+	f := func(ra, rb, rc []uint32) bool {
+		a, _ := sketchFromRaw(ra)
+		b, _ := sketchFromRaw(rb)
+		c, _ := sketchFromRaw(rc)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab, ba) || !ab.Equal(ba) {
+			return false
+		}
+
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		return reflect.DeepEqual(abc1, abc2) && abc1.Equal(abc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSketchMergeMatchesCombinedAdds checks that merging two sketches
+// is indistinguishable from adding both observation streams to one.
+func TestSketchMergeMatchesCombinedAdds(t *testing.T) {
+	f := func(ra, rb []uint32) bool {
+		a, va := sketchFromRaw(ra)
+		b, vb := sketchFromRaw(rb)
+		a.Merge(b)
+		both := new(Sketch)
+		for _, v := range va {
+			both.Add(v)
+		}
+		for _, v := range vb {
+			both.Add(v)
+		}
+		return a.Equal(both)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchRejectsAndEdges(t *testing.T) {
+	var s Sketch
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -1e-300} {
+		if s.Add(bad) {
+			t.Fatalf("Add(%g) accepted", bad)
+		}
+	}
+	if s.N() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("rejected values perturbed the sketch: %+v", s)
+	}
+
+	if !s.Add(3.5) {
+		t.Fatal("Add(3.5) rejected")
+	}
+	if s.Quantile(0) != 3.5 || s.Quantile(1) != 3.5 || s.Quantile(0.5) != 3.5 {
+		t.Fatalf("single-value sketch quantiles: %g %g %g",
+			s.Quantile(0), s.Quantile(0.5), s.Quantile(1))
+	}
+
+	s.Reset()
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	s.Add(2)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("median of mostly-zeros = %g, want 0", got)
+	}
+	if got := s.Quantile(1); got != 2 {
+		t.Fatalf("max quantile = %g, want 2", got)
+	}
+	if s.Min() != 0 || s.Max() != 2 || s.N() != 11 {
+		t.Fatalf("extrema/n: min=%g max=%g n=%d", s.Min(), s.Max(), s.N())
+	}
+
+	// NaN q behaves like q ≤ 0.
+	if got := s.Quantile(math.NaN()); got != s.Min() {
+		t.Fatalf("Quantile(NaN) = %g, want min %g", got, s.Min())
+	}
+
+	// Denormal and huge magnitudes index without panicking and stay
+	// within [min, max].
+	s.Reset()
+	s.Add(5e-324)
+	s.Add(math.MaxFloat64)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := s.Quantile(q)
+		if v < s.Min() || v > s.Max() {
+			t.Fatalf("Quantile(%g) = %g outside [%g, %g]", q, v, s.Min(), s.Max())
+		}
+	}
+}
+
+// TestSampleObserveEquivalence pins the metamorphic contract of the
+// Accumulator seam: feeding a Sample through Observe produces a
+// bit-identical accumulator to calling Add directly, so routing the
+// experiment metrics through Accumulator cannot move any mean or CI95.
+func TestSampleObserveEquivalence(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var direct, routed Sample
+		var acc Accumulator = &routed
+		for _, r := range raw {
+			v := rawValue(uint64(r))
+			direct.Add(v)
+			acc.Observe(v)
+		}
+		return direct == routed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscardIsInert(t *testing.T) {
+	Discard.Observe(math.NaN())
+	Discard.Observe(1e300)
+	Discard.Observe(-1)
+}
+
+func TestSketchSummary(t *testing.T) {
+	var s Sketch
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	q := s.Summary()
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > want*SketchRelError*(1+1e-12) {
+			t.Errorf("%s = %g, want %g ± %g%%", name, got, want, 100*SketchRelError)
+		}
+	}
+	check("P50", q.P50, 500)
+	check("P95", q.P95, 950)
+	check("P99", q.P99, 990)
+}

@@ -107,6 +107,13 @@ type Point struct {
 	Min  float64
 	Max  float64
 	N    int64
+
+	// Q, when non-nil, carries distribution quantiles for the point
+	// (populated by the distribution-level experiments). The report
+	// layer appends p50/p95/p99 columns only for series that have it,
+	// so outputs without quantiles render byte-identically to before
+	// the field existed.
+	Q *Quantiles
 }
 
 // FromSample builds a Point at x from an accumulated sample.

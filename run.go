@@ -83,6 +83,26 @@ type Scenario struct {
 	// tests keep it on.
 	Audit bool
 
+	// AuditSample, with Audit set, checks the full cluster snapshot only
+	// on every k-th engine event (k = AuditSample; 0 and 1 audit every
+	// event). The choice is keyed to the deterministic event sequence
+	// number — never wall time — so sampled audits reproduce
+	// bit-identically at any GOMAXPROCS or worker count. The cheap
+	// stateful taps (admission, migration, failure, recovery, chain,
+	// replication, feed order) always fire, so the auditor's replica,
+	// storage, and fault models stay exact; only the per-event snapshot
+	// invariants are sampled. This is what keeps audited 10^6–10^7
+	// request runs feasible.
+	AuditSample int
+
+	// Stats attaches the streaming distribution layer: per-request
+	// wait, retry sojourn, glitch duration, migration count, and
+	// degraded-park duration are recorded into O(1)-memory quantile
+	// sketches returned as Result.Dist. Observations are pure
+	// accumulation — enabling Stats cannot change any other field of
+	// the result.
+	Stats bool
+
 	// Observer, when non-nil, receives admission/migration/finish
 	// notifications (see internal/trace for a ready-made recorder).
 	Observer Observer
@@ -174,9 +194,16 @@ type Result struct {
 	PlacedCopies       int
 	PlacementShortfall int
 	// AuditedEvents is the number of engine events the invariant
-	// auditor checked (zero unless Scenario.Audit was set; the run
-	// would have failed had any violated an invariant).
+	// auditor snapshot-checked (zero unless Scenario.Audit was set; the
+	// run would have failed had any violated an invariant). With
+	// Scenario.AuditSample > 1 this counts only the sampled events.
 	AuditedEvents int64
+
+	// Dist holds the streaming distribution sketches (nil unless
+	// Scenario.Stats was set). It is deliberately the only
+	// non-comparable field: tests comparing Results with == must run
+	// with Stats off, or compare Dist separately via DistStats.Equal.
+	Dist *DistStats
 }
 
 // Validate reports scenario errors.
@@ -204,6 +231,12 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.FailAtHours > 0 && sc.Faults.Enabled() {
 		return fmt.Errorf("semicont: FailAtHours and Faults are mutually exclusive (express the single failure as a trace)")
+	}
+	if sc.AuditSample < 0 {
+		return fmt.Errorf("semicont: negative AuditSample %d", sc.AuditSample)
+	}
+	if sc.AuditSample > 1 && !sc.Audit {
+		return fmt.Errorf("semicont: AuditSample %d without Audit", sc.AuditSample)
 	}
 	// Cross-checks the engine would otherwise reject after Validate has
 	// passed: a validated scenario must build and run.
@@ -342,6 +375,12 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Audit {
 		auditor = audit.New()
 		eng.SetAuditTap(auditor)
+		eng.SetAuditSampling(sc.AuditSample)
+	}
+	var dist *DistStats
+	if sc.Stats {
+		dist = new(DistStats)
+		dist.bind(eng)
 	}
 	horizon := sc.HorizonHours * 3600
 	if sc.FailAtHours > 0 {
@@ -416,6 +455,7 @@ func Run(sc Scenario) (*Result, error) {
 	if auditor != nil {
 		res.AuditedEvents = int64(auditor.Events())
 	}
+	res.Dist = dist
 	enginePool.Put(eng)
 	return res, nil
 }
@@ -467,6 +507,11 @@ type Aggregate struct {
 	Utilization stats.Sample
 	Rejection   stats.Sample
 	Migrations  stats.Sample
+
+	// Dist is the trial-merged distribution aggregate (nil unless the
+	// scenario ran with Stats). Trials are merged in submission order;
+	// sketch merging is bit-for-bit order-independent anyway.
+	Dist *DistStats
 }
 
 // trialSeedLabel decouples per-trial seed streams from the scenario
@@ -504,6 +549,12 @@ func Summarize(sc Scenario, results []*Result) *Aggregate {
 		agg.Utilization.Add(r.Utilization)
 		agg.Rejection.Add(r.RejectionRatio)
 		agg.Migrations.Add(float64(r.Migrations))
+		if r.Dist != nil {
+			if agg.Dist == nil {
+				agg.Dist = new(DistStats)
+			}
+			agg.Dist.Merge(r.Dist)
+		}
 	}
 	return agg
 }

@@ -115,6 +115,26 @@ func LargeSystem() System {
 	}
 }
 
+// ScaleSystem returns a cluster of n 300 Mb/s servers serving a large
+// short-clip library — the `*-large` experiment family's system. At
+// n = 200 the calibrated arrival rate is ≈16.7 requests/second
+// (≈60,000 per simulated hour), so the paper-default 100-hour horizon
+// yields ~6×10^6 requests per trial and 167 hours yield 10^7; the
+// streaming metrics layer keeps memory bounded regardless.
+func ScaleSystem(n int) System {
+	return System{
+		Name:            fmt.Sprintf("scale-%d", n),
+		NumServers:      n,
+		ServerBandwidth: 300,
+		DiskCapacity:    float64(units.GB(500)),
+		NumVideos:       500,
+		MinVideoLength:  float64(units.Minutes(10)),
+		MaxVideoLength:  float64(units.Minutes(30)),
+		AvgCopies:       2.2,
+		ViewRate:        3,
+	}
+}
+
 // SingleServer returns a one-server system with the given
 // server-to-view bandwidth ratio, used by the SVBR validation
 // experiment against the Erlang-B model.

@@ -1,0 +1,193 @@
+package semicont
+
+import (
+	"runtime"
+	"testing"
+
+	"semicont/internal/faults"
+)
+
+// faultScenario is the fault-heavy configuration the sampled-audit and
+// stats determinism tests share: churn plus the retry queue and
+// degraded playback, so every observation channel carries data.
+func faultScenario() Scenario {
+	sc := quickScenario()
+	sc.HorizonHours = 2
+	sc.Policy.Migration, sc.Policy.MaxHops, sc.Policy.MaxChain = true, 2, 1
+	sc.Policy.RetryQueue = true
+	sc.Policy.DegradedPlayback = true
+	sc.Faults = faults.Config{MTBFHours: 0.5, MTTRHours: 0.1}
+	return sc
+}
+
+// stripDist returns a copy of r with Dist detached, leaving only the
+// comparable fields. Results carrying *DistStats cannot be compared
+// with == (pointer identity); tests compare the flat fields this way
+// and the sketches via DistStats.Equal.
+func stripDist(r *Result) Result {
+	c := *r
+	c.Dist = nil
+	return c
+}
+
+// TestSampledAuditDeterministicAcrossGOMAXPROCS pins the audit-sampling
+// contract: the every-k-th-event choice keys off the deterministic
+// event sequence number, so sampled-audit runs must be bit-identical —
+// AuditedEvents included — at any GOMAXPROCS.
+func TestSampledAuditDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := faultScenario()
+	sc.Audit = true
+	sc.AuditSample = 7
+	run := func(procs int) *Aggregate {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		agg, err := RunTrials(sc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial := run(1)
+	for _, procs := range []int{2, 8} {
+		parallel := run(procs)
+		for i := range serial.Results {
+			if *serial.Results[i] != *parallel.Results[i] {
+				t.Errorf("sampled-audit trial %d diverged at GOMAXPROCS=%d:\nserial   %+v\nparallel %+v",
+					i, procs, serial.Results[i], parallel.Results[i])
+			}
+		}
+	}
+	for i, r := range serial.Results {
+		if r.AuditedEvents == 0 {
+			t.Errorf("sampled-audit trial %d snapshot-checked no events", i)
+		}
+	}
+}
+
+// TestAuditSamplingOnlyDropsSnapshots pins that sampling changes
+// nothing but how many snapshots the auditor builds: a fault-heavy run
+// audited at every event and at every 5th must agree on every result
+// field except AuditedEvents, which must shrink accordingly.
+func TestAuditSamplingOnlyDropsSnapshots(t *testing.T) {
+	sc := faultScenario()
+	sc.Audit = true
+
+	sc.AuditSample = 1
+	full, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.AuditSample = 5
+	sampled, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, s := *full, *sampled
+	f.AuditedEvents, s.AuditedEvents = 0, 0
+	if f != s {
+		t.Errorf("sampling perturbed the simulation:\nfull    %+v\nsampled %+v", full, sampled)
+	}
+	if sampled.AuditedEvents == 0 || sampled.AuditedEvents >= full.AuditedEvents {
+		t.Errorf("sampled %d snapshots vs %d full — expected a strict reduction",
+			sampled.AuditedEvents, full.AuditedEvents)
+	}
+	// Every 5th event plus integer truncation: the sampled count is
+	// within one of full/5.
+	if want := full.AuditedEvents / 5; sampled.AuditedEvents < want-1 || sampled.AuditedEvents > want+1 {
+		t.Errorf("sampled %d snapshots, want ≈%d (full %d / 5)", sampled.AuditedEvents, want, full.AuditedEvents)
+	}
+}
+
+// TestStatsMetamorphic pins the metamorphic contract of the streaming
+// layer: enabling Stats is pure accumulation, so a run with it on must
+// reproduce every other result field bit-identically, and the
+// observation counts must tie out against the run's own accounting.
+func TestStatsMetamorphic(t *testing.T) {
+	sc := faultScenario()
+	base, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Stats = true
+	stat, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *base != stripDist(stat) {
+		t.Errorf("enabling Stats perturbed the run:\noff %+v\non  %+v", base, stat)
+	}
+	d := stat.Dist
+	if d == nil {
+		t.Fatal("Stats run returned nil Dist")
+	}
+	// Every admitted request observes a wait (immediate, patch-join, or
+	// retry admission) exactly once.
+	if got, want := int64(d.Wait.N()), stat.Accepted; got != want {
+		t.Errorf("wait observations %d != %d accepted", got, want)
+	}
+	// Every retry episode ends exactly once: admission or reneging.
+	if got, want := int64(d.RetrySojourn.N()), stat.RetriedAdmissions+stat.Reneged; got != want {
+		t.Errorf("sojourn observations %d != %d retried + %d reneged", got, stat.RetriedAdmissions, stat.Reneged)
+	}
+	// Every park episode ends exactly once: resume or glitch-drop.
+	if got, want := int64(d.Park.N()), stat.DegradedResumed+stat.DegradedGlitches; got != want {
+		t.Errorf("park observations %d != %d resumed + %d glitched", got, stat.DegradedResumed, stat.DegradedGlitches)
+	}
+	// Every stream leaving the cluster observes its migration count.
+	if got, want := int64(d.Migrations.N()), stat.Completions+stat.DroppedStreams; got != want {
+		t.Errorf("migration observations %d != %d completions + %d dropped", got, stat.Completions, stat.DroppedStreams)
+	}
+	// Glitch episodes: degraded buffer dry-outs (intermittent is off in
+	// this scenario, so its channel contributes nothing here).
+	if got, want := int64(d.Glitch.N()), stat.DegradedGlitches; got != want {
+		t.Errorf("glitch observations %d != %d degraded glitches", got, want)
+	}
+	if stat.RetriedAdmissions == 0 || stat.DegradedParked == 0 {
+		t.Error("scenario exercised no retries or parks — observation ties are vacuous")
+	}
+
+	// Same scenario again: the sketches themselves are deterministic.
+	again, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stat.Dist.Equal(again.Dist) {
+		t.Error("identical Stats runs produced different sketches")
+	}
+}
+
+// TestStatsDeterministicAcrossGOMAXPROCS extends the parallel-trial
+// contract to the streaming layer: per-trial sketches and the
+// trial-merged aggregate must be bit-identical at any GOMAXPROCS.
+func TestStatsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := faultScenario()
+	sc.Stats = true
+	run := func(procs int) *Aggregate {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		agg, err := RunTrials(sc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial.Results {
+		if stripDist(serial.Results[i]) != stripDist(parallel.Results[i]) {
+			t.Errorf("stats trial %d diverged across GOMAXPROCS", i)
+		}
+		if !serial.Results[i].Dist.Equal(parallel.Results[i].Dist) {
+			t.Errorf("stats trial %d sketches diverged across GOMAXPROCS", i)
+		}
+	}
+	if serial.Dist == nil || !serial.Dist.Equal(parallel.Dist) {
+		t.Error("trial-merged sketches diverged across GOMAXPROCS")
+	}
+	if serial.Dist.Wait.N() == 0 {
+		t.Error("merged wait sketch is empty — the scenario observed nothing")
+	}
+}
