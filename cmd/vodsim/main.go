@@ -83,8 +83,15 @@ func main() {
 		listExp   = flag.Bool("list-experiments", false, "list registered experiments and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (see DESIGN.md for the profiling workflow)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchHost = flag.Bool("bench-host", false, "print the benchmark host fingerprint (GOMAXPROCS, hardware threads, go version, platform) and exit; CI records it next to every uploaded BENCH_*.json")
 	)
 	flag.Parse()
+
+	if *benchHost {
+		fmt.Printf("gomaxprocs=%d hardware_threads=%d go=%s platform=%s/%s\n",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 
 	if *listAlloc {
 		for _, name := range semicont.AllocatorNames() {

@@ -16,30 +16,61 @@ import (
 // that the construction path rejects, i.e. a gap in the contract.
 func FuzzScenarioValidate(f *testing.F) {
 	f.Add(5, 100.0, 50, 600.0, 1800.0, 2.2, 3.0,
-		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 0.271, 1.0, 0.0, 0, uint64(1),
-		0.0, 0.0, false, false, false, "", "")
+		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.0, 0.0, 0, uint64(1),
+		0.0, 0.0, false, false, false, "", "",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(2, 30.0, 25, 300.0, 900.0, 2.0, 3.0,
-		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, -1.0, 1.2, 0.5, 1, uint64(7),
-		0.02, 0.01, true, true, true, "least-loaded", "")
+		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, 30.0, 120.0, -1.0, 1.2, 0.5, 1, uint64(7),
+		0.02, 0.01, true, true, true, "least-loaded", "",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(3, 45.0, 25, 300.0, 900.0, 2.0, 3.0,
-		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 1.0, 1.0, 0.0, 0, uint64(9),
-		0.05, 0.02, false, true, false, "most-headroom", "direct-only")
+		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 30.0, 120.0, 1.0, 1.0, 0.0, 0, uint64(9),
+		0.05, 0.02, false, true, false, "most-headroom", "direct-only",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(4, 60.0, 30, 300.0, 900.0, 2.0, 3.0,
-		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, -1.5, 1.0, 0.0, 0, uint64(3),
-		-1.0, 0.5, false, false, true, "nonsense", "nonsense")
+		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, 30.0, 120.0, -1.5, 1.0, 0.0, 0, uint64(3),
+		-1.0, 0.5, false, false, true, "nonsense", "nonsense",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	// DRM + server churn + retry queue + a non-default controller pair in
 	// one seed: the selector seam is crossed by arrivals, retry
 	// re-attempts, and rescue reconnects all at once.
 	f.Add(4, 60.0, 20, 300.0, 900.0, 2.5, 3.0,
-		0.2, 0, true, 2, 2, false, false, 0.0, 0.0, 0.271, 1.2, 0.0, 0, uint64(11),
-		0.5, 0.1, true, true, true, "random-feasible", "chain-dfs")
+		0.2, 0, true, 2, 2, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.2, 0.0, 0, uint64(11),
+		0.5, 0.1, true, true, true, "random-feasible", "chain-dfs",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	// Interactivity under intermittent scheduling with a heterogeneous
+	// client mix: pause/resume churns the wake index while the two
+	// classes diverge on bufCap (StagingFrac) and recvCap (ReceiveCap),
+	// so the per-slot lane state is rewritten on every resume.
+	f.Add(4, 60.0, 25, 300.0, 900.0, 2.0, 3.0,
+		0.2, 0, true, 1, 1, false, true, 0.0, 0.3, 10.0, 60.0, 0.271, 1.0, 0.0, 0, uint64(13),
+		0.0, 0.0, false, false, false, "", "",
+		2, 2.0, 0.3, 0.05, 6.0, 4.0)
+	// Every viewer pauses, with short pauses (rapid resume churn) and a
+	// single class whose receive cap sits barely above the view rate:
+	// spare feeds saturate immediately, so the spare path's wake-key
+	// rewrites happen at the recvCap clamp.
+	f.Add(3, 45.0, 20, 300.0, 900.0, 2.0, 3.0,
+		0.0, 1, false, 1, 1, false, false, 0.0, 1.0, 1.0, 5.0, 0.0, 1.0, 0.0, 0, uint64(17),
+		0.0, 0.0, false, false, false, "", "",
+		1, 0.0, 0.5, 0.0, 3.5, 0.0)
+	// Degenerate mix weights: class B has weight zero (never drawn but
+	// still validated), pause range collapsed to a point, even-split
+	// spare. Exercises the ClientMix validation edge and the fixed-length
+	// pause path together.
+	f.Add(3, 45.0, 20, 300.0, 900.0, 2.0, 3.0,
+		0.1, 2, false, 1, 1, false, true, 0.0, 0.5, 45.0, 45.0, 0.0, 1.0, 0.0, 0, uint64(19),
+		0.0, 0.0, false, false, false, "", "",
+		2, 0.0, 0.4, 0.2, 0.0, 8.0)
 	f.Fuzz(func(t *testing.T,
 		numServers int, bw float64, numVideos int, minLen, maxLen, avgCopies, viewRate float64,
 		stagingFrac float64, spare int, migration bool, maxHops, maxChain int,
 		replicate, intermittent bool, patchWindow, pauseProb float64,
+		minPause, maxPause float64,
 		theta, load, failAt float64, failServer int, seed uint64,
 		mtbf, mttr float64, cold, retryQueue, degraded bool,
-		selector, planner string) {
+		selector, planner string,
+		classes int, classWeightB, classStagingA, classStagingB, classRecvA, classRecvB float64) {
 		sc := Scenario{
 			System: System{
 				Name:            "fuzz",
@@ -63,8 +94,8 @@ func FuzzScenarioValidate(f *testing.F) {
 				Intermittent:     intermittent,
 				PatchWindowSec:   patchWindow,
 				PauseProb:        pauseProb,
-				MinPauseSec:      30,
-				MaxPauseSec:      120,
+				MinPauseSec:      minPause,
+				MaxPauseSec:      maxPause,
 				RetryQueue:       retryQueue,
 				DegradedPlayback: degraded,
 				Selector:         selector,
@@ -78,6 +109,22 @@ func FuzzScenarioValidate(f *testing.F) {
 			FailAtHours:  failAt,
 			Faults:       faults.Config{MTBFHours: mtbf, MTTRHours: mttr, Cold: cold},
 		}
+		// classes selects the heterogeneous-population shape: 0 leaves
+		// ClientMix nil (homogeneous StagingFrac path), 1 is a single
+		// class, anything else a two-class mix. The field values flow
+		// through unclamped — Validate owns the rejection.
+		switch {
+		case classes <= 0:
+		case classes == 1:
+			sc.Policy.ClientMix = []ClientClass{
+				{Weight: 1, StagingFrac: classStagingA, ReceiveCap: classRecvA},
+			}
+		default:
+			sc.Policy.ClientMix = []ClientClass{
+				{Weight: 1, StagingFrac: classStagingA, ReceiveCap: classRecvA},
+				{Weight: classWeightB, StagingFrac: classStagingB, ReceiveCap: classRecvB},
+			}
+		}
 		if sc.Faults.Enabled() {
 			// The stochastic process and the legacy single-failure knob are
 			// mutually exclusive by contract; exercise the fault path.
@@ -90,7 +137,8 @@ func FuzzScenarioValidate(f *testing.F) {
 		if numServers > 5 || numVideos > 50 || bw > 150 ||
 			viewRate < 1 || minLen < 60 || maxLen > 1800 ||
 			theta < -2 || theta > 2 || load > 1.5 ||
-			stagingFrac > 1 || patchWindow > 1800 {
+			stagingFrac > 1 || patchWindow > 1800 ||
+			maxPause > 3600 || classStagingA > 1 || classStagingB > 1 {
 			return
 		}
 		// A sub-minute MTBF would compile thousands of fault events even

@@ -25,7 +25,12 @@
 //   - accounting: arrivals = accepted + rejected + reneged, accepted
 //     streams all finish or are dropped, retry-queue and degraded-mode
 //     episodes balance, and delivered volume never exceeds accepted
-//     volume.
+//     volume;
+//   - wake index: each server's incremental next-wake answer equals,
+//     bit for bit, the from-scratch minimum over the wake keys stored
+//     on its streams and copy jobs — a maintenance bug in the engine's
+//     min-tracking (a missed dirty mark, an unfolded copy key) cannot
+//     hide behind floating-point slack.
 //
 // The auditor fails fast: the first violation aborts the run and
 // surfaces as a structured *Violation error naming the event, server,
@@ -36,6 +41,7 @@ package audit
 
 import (
 	"fmt"
+	"math"
 
 	"semicont/internal/core"
 )
@@ -56,7 +62,8 @@ type Violation struct {
 	// "slots", "failed-active", "copy-rate", "eftf-order", "eftf-feed",
 	// "intermittent-order", "intermittent-feed", "admission-feasible",
 	// "hops", "chain", "migration-target", "replica", "replica-dup",
-	// "storage", "fault-state", "failure-accounting", "accounting".
+	// "storage", "fault-state", "failure-accounting", "accounting",
+	// "wake-exact".
 	Rule string
 
 	Time    float64 // simulation time of the violating event
@@ -247,6 +254,27 @@ func (a *Auditor) Event(rec core.AuditEventRecord) error {
 		if total > s.Bandwidth+dataEps {
 			return a.fail("bandwidth", sid, 0,
 				"allocated %g of %g Mb/s", total, s.Bandwidth)
+		}
+		// Wake-exact: the engine's incremental wake index must answer
+		// exactly the from-scratch minimum over the stored keys. The
+		// comparison is deliberately == (no epsilon): both sides read the
+		// same stored float64 keys, so any difference is a maintenance
+		// bug, not rounding.
+		scan := math.Inf(1)
+		for ri := range s.Requests {
+			if k := s.Requests[ri].WakeKey; k < scan {
+				scan = k
+			}
+		}
+		for ci := range s.Copies {
+			if k := s.Copies[ci].WakeKey; k < scan {
+				scan = k
+			}
+		}
+		if s.NextWake != scan {
+			return a.fail("wake-exact", sid, 0,
+				"incremental next-wake %g != %g from-scratch min over %d stored keys",
+				s.NextWake, scan, len(s.Requests)+len(s.Copies))
 		}
 		if a.storageCapEnabled {
 			if cap := a.cfg.ServerStorage[sid]; cap > 0 && a.storageUsed[sid] > cap+dataEps {

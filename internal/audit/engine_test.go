@@ -82,6 +82,35 @@ func TestAuditorCatchesBrokenEFTF(t *testing.T) {
 	}
 }
 
+// TestAuditorCatchesSkewedWakeIndex is the acceptance check for the
+// wake-exact rule: sabotage the audit snapshot's NextWake (test-only
+// engine hook that reports a loaded server's incremental answer one
+// second early while leaving the stored keys intact) and require the
+// auditor to reject the run. This is exactly the signature of a real
+// maintenance bug — a missed dirty mark or unfolded copy key makes the
+// index disagree with its own keys — and the rule must catch it with
+// an exact comparison, not an epsilon.
+func TestAuditorCatchesSkewedWakeIndex(t *testing.T) {
+	e := stagedEngine(t, 7)
+	a := audit.New()
+	e.SetAuditTap(a)
+	e.DebugSkewWakeIndex(true)
+	_, err := e.Run(2 * 3600)
+	if err == nil {
+		t.Fatal("skewed wake index passed the audit")
+	}
+	var v *audit.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want *audit.Violation, got %T: %v", err, err)
+	}
+	if v.Rule != "wake-exact" {
+		t.Fatalf("rule = %q, want wake-exact (%v)", v.Rule, v)
+	}
+	if v.Seq == 0 || v.Server < 0 {
+		t.Errorf("violation lacks context: %+v", v)
+	}
+}
+
 // TestAuditorCleanOnHonestEFTF is the control: the identical simulation
 // without sabotage audits clean.
 func TestAuditorCleanOnHonestEFTF(t *testing.T) {

@@ -28,9 +28,9 @@ func (eftfAllocator) Name() string { return AllocMinFlowEFTF }
 
 func (eftfAllocator) Allocate(e *Engine, s *server, t float64) float64 {
 	avail := e.minFlowRates(s, t)
-	avail = e.allocateCopies(s, avail)
+	avail = e.allocateCopies(s, t, avail)
 	if e.cfg.Workahead && avail > dataEps {
 		e.feedSpareOrdered(s, t, avail, e.spareMisorder)
 	}
-	return e.nextWake(s, t)
+	return s.wakeAt(t)
 }

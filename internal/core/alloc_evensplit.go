@@ -13,9 +13,9 @@ func (evenSplitAllocator) Name() string { return AllocMinFlowEvenSplit }
 
 func (evenSplitAllocator) Allocate(e *Engine, s *server, t float64) float64 {
 	avail := e.minFlowRates(s, t)
-	avail = e.allocateCopies(s, avail)
+	avail = e.allocateCopies(s, t, avail)
 	if e.cfg.Workahead && avail > dataEps {
 		e.feedSpareEven(s, t, avail)
 	}
-	return e.nextWake(s, t)
+	return s.wakeAt(t)
 }

@@ -36,32 +36,41 @@ func (intermittentAllocator) Name() string { return AllocIntermittent }
 
 func (intermittentAllocator) Allocate(e *Engine, s *server, t float64) float64 {
 	e.allocateIntermittent(s, t)
-	return e.nextWake(s, t)
+	return s.wakeAt(t)
 }
 
 // allocateIntermittent runs the heuristic on server s at time t.
-// Requests must be synced to t.
+// Requests must be synced to t. Like minFlowRates it opens the wake
+// round and writes every slot's key at the rate decision: suspension
+// deadlines in the gather, the resume-guard key for every slot the
+// feed leaves at rate zero (a paused-full viewer's buffer still drains
+// once it resumes, so it gets the same guard key), and wakeKeyServing
+// for the slots it serves.
 func (e *Engine) allocateIntermittent(s *server, t float64) {
 	bview := e.cfg.ViewRate
+	ln := &s.ln
 	e.cand.Reset(false)
-	for i, r := range s.active {
-		if r.suspended(t) {
-			r.rate = 0
+	ln.beginRound()
+	for i := range ln.rate {
+		if s.suspendedAt(i, t) {
+			ln.rate[i] = 0
+			ln.setWake(int32(i), ln.susp[i])
 			continue
 		}
+		r := s.active[i]
 		// A negative raw buffer means playback outpaced delivery at some
 		// point since the last allocation: the client stalled. Record
 		// the glitch on first sight (the raw buffer stays negative until
 		// the stream receives more than b_view again, so the first
 		// allocation after the underflow always observes it).
-		if !r.glitched && r.sent-r.viewedAt(t, bview) < -dataEps {
+		if !r.glitched && ln.sent[i]-r.viewedAt(t, bview) < -dataEps {
 			r.glitched = true
 			e.metrics.GlitchedStreams++
 			// The catch-up deficit at detection: how far playback ran
 			// ahead of delivery, in seconds of viewing.
-			e.observe(ObsGlitch, (r.viewedAt(t, bview)-r.sent)/bview)
+			e.observe(ObsGlitch, (r.viewedAt(t, bview)-ln.sent[i])/bview)
 		}
-		e.cand.Add(r.bufferAt(t, bview), r.id, int32(i))
+		e.cand.Add(s.bufferOf(i, t, bview), r.id, int32(i))
 	}
 	avail := s.bandwidth
 	if e.audit != nil {
@@ -74,41 +83,45 @@ func (e *Engine) allocateIntermittent(s *server, t float64) {
 		e.cand.Init()
 		for e.cand.Len() > 0 {
 			ent := e.cand.Pop()
-			r := s.active[ent.Pos]
-			if e.pausedAndFull(r, t) {
-				r.rate = 0
+			i := ent.Pos
+			if e.pausedFullAt(s, int(i), t) {
+				ln.rate[i] = 0
+				ln.setWake(i, e.wakeKeyPaused(ent.Key, t))
 				continue
 			}
 			if avail >= bview-dataEps {
-				r.rate = bview
+				ln.rate[i] = bview
 				avail -= bview
+				ln.setWake(i, e.wakeKeyServing(s, s.active[i], int(i), t))
 				continue
 			}
-			e.pauseIntermittent(r, ent.Key)
+			e.pauseIntermittent(s, i, ent.Key, t)
 			for _, rest := range e.cand.Rest() {
-				rr := s.active[rest.Pos]
-				if e.pausedAndFull(rr, t) {
-					rr.rate = 0
+				if e.pausedFullAt(s, int(rest.Pos), t) {
+					ln.rate[rest.Pos] = 0
+					ln.setWake(rest.Pos, e.wakeKeyPaused(rest.Key, t))
 					continue
 				}
-				e.pauseIntermittent(rr, rest.Key)
+				e.pauseIntermittent(s, rest.Pos, rest.Key, t)
 			}
 			break
 		}
 	}
-	avail = e.allocateCopies(s, avail)
+	avail = e.allocateCopies(s, t, avail)
 	if avail > dataEps {
 		e.spreadSpare(s, t, avail)
 	}
 }
 
-// pauseIntermittent pauses a stream the feed could not serve. buf is
-// the stream's buffer level at the current time. A stream paused with a
-// dry buffer cannot keep playing: the heuristic has over-admitted, so
-// the glitch is recorded once.
-func (e *Engine) pauseIntermittent(r *request, buf float64) {
-	r.rate = 0
-	if !r.glitched && buf <= dataEps && !r.finished() {
+// pauseIntermittent pauses slot i, which the feed could not serve. buf
+// is the slot's buffer level at time t (its gather key). A stream
+// paused with a dry buffer cannot keep playing: the heuristic has
+// over-admitted, so the glitch is recorded once.
+func (e *Engine) pauseIntermittent(s *server, i int32, buf, t float64) {
+	s.ln.rate[i] = 0
+	s.ln.setWake(i, e.wakeKeyPaused(buf, t))
+	r := s.active[i]
+	if !r.glitched && buf <= dataEps && !s.finishedAt(int(i)) {
 		r.glitched = true
 		e.metrics.GlitchedStreams++
 		// The pause itself is the detection point: the buffer just hit
@@ -123,22 +136,25 @@ func (e *Engine) pauseIntermittent(r *request, buf float64) {
 // left for copies and staging.
 func (e *Engine) intermittentAudited(s *server, t float64, avail float64) float64 {
 	bview := e.cfg.ViewRate
+	ln := &s.ln
 	grants := e.intermitGrantBuf[:0]
 	for _, ent := range e.cand.Sort() {
-		r := s.active[ent.Pos]
-		pausedFull := e.pausedAndFull(r, t)
+		i := ent.Pos
+		pausedFull := e.pausedFullAt(s, int(i), t)
 		switch {
 		case pausedFull:
-			r.rate = 0
+			ln.rate[i] = 0
+			ln.setWake(i, e.wakeKeyPaused(ent.Key, t))
 		case avail >= bview-dataEps:
-			r.rate = bview
+			ln.rate[i] = bview
 			avail -= bview
+			ln.setWake(i, e.wakeKeyServing(s, s.active[i], int(i), t))
 		default:
-			e.pauseIntermittent(r, ent.Key)
+			e.pauseIntermittent(s, i, ent.Key, t)
 		}
 		grants = append(grants, IntermittentGrant{
-			Request: r.id, Buffer: ent.Key,
-			Rate: r.rate, PausedFull: pausedFull,
+			Request: ent.ID, Buffer: ent.Key,
+			Rate: ln.rate[i], PausedFull: pausedFull,
 		})
 	}
 	e.intermitGrantBuf = grants
@@ -165,12 +181,12 @@ func (e *Engine) canAccept(s *server, t float64) bool {
 func (e *Engine) urgentCount(s *server, t float64) int {
 	guard := e.resumeGuard() * e.cfg.ViewRate
 	n := 0
-	for _, r := range s.active {
-		if r.suspended(t) || r.finished() || r.pausedView {
+	for i, r := range s.active {
+		if s.suspendedAt(i, t) || s.finishedAt(i) || r.pausedView {
 			// Paused viewers consume nothing until they resume.
 			continue
 		}
-		if r.bufferAt(t, e.cfg.ViewRate) < guard {
+		if s.bufferOf(i, t, e.cfg.ViewRate) < guard {
 			n++
 		}
 	}

@@ -14,9 +14,9 @@ func (lftfAllocator) Name() string { return AllocMinFlowLFTF }
 
 func (lftfAllocator) Allocate(e *Engine, s *server, t float64) float64 {
 	avail := e.minFlowRates(s, t)
-	avail = e.allocateCopies(s, avail)
+	avail = e.allocateCopies(s, t, avail)
 	if e.cfg.Workahead && avail > dataEps {
 		e.feedSpareOrdered(s, t, avail, true)
 	}
-	return e.nextWake(s, t)
+	return s.wakeAt(t)
 }

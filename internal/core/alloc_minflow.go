@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Minimum-flow allocation (Sections 3.3 and Figure 2 of the paper):
 // every unfinished, non-suspended request is guaranteed at least the
 // view bandwidth b_view, so admitted playback can never glitch. The
@@ -9,21 +11,70 @@ package core
 
 // minFlowRates assigns the minimum-flow guarantee on server s at time t
 // and returns the spare bandwidth left over. All requests in s.active
-// must be synced to t.
+// must be synced to t. It opens the server's wake round and writes
+// every slot's key as it assigns the rate: a later spare feed rewrites
+// the keys of the slots it raises (see wake.go).
 func (e *Engine) minFlowRates(s *server, t float64) float64 {
 	avail := s.bandwidth
 	bview := e.cfg.ViewRate
-	for _, r := range s.active {
-		if r.suspended(t) || e.pausedAndFull(r, t) {
-			// Mid-switch streams receive nothing; a paused viewer with
-			// a full buffer has nowhere to put data, so the minimum-flow
-			// guarantee is moot until it resumes (an evResume event
-			// triggers reallocation).
-			r.rate = 0
-			continue
+	ln := &s.ln
+	ln.beginRound()
+	// The round touches every slot exactly once, so the min is tracked in
+	// locals and committed wholesale instead of paying setWake's fold per
+	// slot; the spare feeds that follow rewrite keys through setWake,
+	// which keeps the committed min valid (a raise only lowers keys).
+	// Reslicing to rate's length drops the per-element bounds checks.
+	min, arg := math.Inf(1), wakeArgNone
+	rateA := ln.rate
+	suspA := ln.susp[:len(rateA)]
+	wakeA := ln.wake[:len(rateA)]
+	sentA := ln.sent[:len(rateA)]
+	sizeA := ln.size[:len(rateA)]
+	for i := range rateA {
+		var k float64
+		if suspA[i] > t+timeEps {
+			// Mid-switch streams receive nothing until the blackout ends.
+			rateA[i] = 0
+			k = suspA[i]
+		} else if r := s.active[i]; r.pausedView && s.bufferOf(i, t, bview) >= r.bufCap-dataEps {
+			// A paused viewer with a full buffer has nowhere to put
+			// data, so the minimum-flow guarantee is moot until it
+			// resumes (an evResume event triggers reallocation).
+			rateA[i] = 0
+			k = math.Inf(1)
+		} else {
+			rateA[i] = bview
+			avail -= bview
+			// wakeKeyServing at rate = bview, manually unrolled: the call
+			// exceeds the inline budget and this loop pays it per slot.
+			// Identical operations in the same order — the keys must stay
+			// bit-identical to wakeKeyServing's (TestWakeIndexMatchesScan
+			// and the wake-exact audit rule pin the equivalence).
+			sent := sentA[i]
+			rem := sizeA[i] - sent
+			if rem < 0 {
+				rem = 0
+			}
+			k = t + rem/bview
+			if fill := bview - r.drainRate(bview); fill > dataEps && r.bufCap >= 0 {
+				buf := sent - r.viewedAt(t, bview)
+				if buf < 0 {
+					buf = 0
+				}
+				room := r.bufCap - buf
+				if room < 0 {
+					room = 0
+				}
+				if tb := t + room/fill; tb < k {
+					k = tb
+				}
+			}
 		}
-		r.rate = bview
-		avail -= bview
+		wakeA[i] = k
+		if k < min {
+			min, arg = k, int32(i)
+		}
 	}
+	ln.wakeMin, ln.wakeArg = min, arg
 	return avail
 }

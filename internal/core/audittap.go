@@ -65,6 +65,7 @@ type AuditRequestState struct {
 	Hops     int32   // lifetime migrations
 	Taps     int32   // dependent patch streams
 	SyncedAt float64
+	WakeKey  float64 // stored wake key from the last allocation round
 
 	Suspended  bool // mid-switch blackout
 	PausedView bool // viewer has paused playback
@@ -77,11 +78,12 @@ func (r AuditRequestState) Finished() bool { return r.Size-r.Sent <= dataEps }
 
 // AuditCopyState is one in-flight replica transfer on its source server.
 type AuditCopyState struct {
-	Video  int32
-	Target int32
-	Rate   float64
-	Sent   float64
-	Size   float64
+	Video   int32
+	Target  int32
+	Rate    float64
+	Sent    float64
+	Size    float64
+	WakeKey float64 // stored wake key from the last allocation round
 }
 
 // AuditServerState is one server's full transmission state.
@@ -90,8 +92,13 @@ type AuditServerState struct {
 	Bandwidth float64
 	Slots     int
 	Failed    bool
-	Requests  []AuditRequestState
-	Copies    []AuditCopyState
+	// NextWake is the incremental wake index's current answer: the min
+	// the engine would schedule the server's next wake from. The
+	// wake-exact audit rule checks it equals the from-scratch min over
+	// the stored WakeKeys below, bit for bit.
+	NextWake float64
+	Requests []AuditRequestState
+	Copies   []AuditCopyState
 }
 
 // AuditEventRecord is the cluster state snapshot delivered after every
@@ -212,6 +219,13 @@ func (e *Engine) AuditErr() error { return e.auditErr }
 // violations; never enable it otherwise.
 func (e *Engine) DebugForceSpareMisorder(on bool) { e.spareMisorder = on }
 
+// DebugSkewWakeIndex makes audit snapshots report each loaded server's
+// NextWake one second early, without touching the stored keys. It
+// exists solely so tests outside this package can prove the auditor's
+// wake-exact rule detects an index that disagrees with its keys; never
+// enable it otherwise.
+func (e *Engine) DebugSkewWakeIndex(on bool) { e.wakeSkew = on }
+
 // auditFail records the first tap error; the engine aborts at the next
 // Step boundary.
 func (e *Engine) auditFail(err error) {
@@ -278,21 +292,26 @@ func (e *Engine) auditRecord(kind AuditEventKind, server int32, req int64) Audit
 		st.Bandwidth = s.bandwidth
 		st.Slots = s.slots
 		st.Failed = s.failed
+		st.NextWake = s.currentWake()
+		if e.wakeSkew && len(s.active) > 0 {
+			st.NextWake = st.NextWake - 1 // test-only sabotage
+		}
 		st.Requests = st.Requests[:0]
-		for _, r := range s.active {
+		for j, r := range s.active {
 			st.Requests = append(st.Requests, AuditRequestState{
 				ID:         r.id,
 				Video:      r.video,
-				Rate:       r.rate,
-				Sent:       r.sent,
+				Rate:       s.ln.rate[j],
+				Sent:       s.ln.sent[j],
 				Size:       r.size,
-				Buffer:     r.sent - r.viewedAt(r.last, bview),
+				Buffer:     s.ln.sent[j] - r.viewedAt(s.ln.last[j], bview),
 				BufCap:     r.bufCap,
 				RecvCap:    r.recvCap,
 				Hops:       r.hops,
 				Taps:       r.taps,
-				SyncedAt:   r.last,
-				Suspended:  r.suspended(r.last),
+				SyncedAt:   s.ln.last[j],
+				WakeKey:    s.ln.wake[j],
+				Suspended:  s.suspendedAt(j, s.ln.last[j]),
 				PausedView: r.pausedView,
 				IsPatch:    r.isPatch,
 				Glitched:   r.glitched,
@@ -303,6 +322,7 @@ func (e *Engine) auditRecord(kind AuditEventKind, server int32, req int64) Audit
 			st.Copies = append(st.Copies, AuditCopyState{
 				Video: c.video, Target: c.target,
 				Rate: c.rate, Sent: c.sent, Size: c.size,
+				WakeKey: c.wakeKey,
 			})
 		}
 	}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Wake-index and fluid-sync micro-benchmarks. BENCH_wake.json at the
+// repo root records the before/after numbers for the data-plane
+// refactor (stored wake keys + SoA hot fields); these benches are the
+// "after" side and the smoke CI runs them at one iteration.
+
+// BenchmarkSyncAll measures advancing one server's fluid state: every
+// active request's (sent, last) pair moves forward under its settled
+// rate. This is the per-event pass that runs before any allocation.
+func BenchmarkSyncAll(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			e, s := benchEngine(k, 0.1, false)
+			benchAllocateWake(e, s)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.syncAll(float64(i+1) * 1e-3)
+			}
+		})
+	}
+}

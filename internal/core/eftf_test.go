@@ -7,8 +7,14 @@ import (
 
 // mkServer builds a bare server with the given bandwidth.
 func mkServer(bandwidth float64, bview float64) *server {
-	return &server{id: 0, bandwidth: bandwidth, slots: int(bandwidth / bview)}
+	s := &server{id: 0, bandwidth: bandwidth, slots: int(bandwidth / bview)}
+	s.ln.beginRound() // start the wake index empty (+Inf), as Reset does
+	return s
 }
+
+// rateOf reads an attached request's current allocation from its
+// server's lane (the authoritative store while attached).
+func rateOf(s *server, r *request) float64 { return s.ln.rate[r.slot] }
 
 // addReq attaches a synthetic request with the given remaining volume,
 // elapsed play time, and buffer contents at time t=now implied by those.
@@ -16,7 +22,7 @@ func mkServer(bandwidth float64, bview float64) *server {
 // would do.
 func addReq(e *Engine, s *server, id int64, size, sent, start, now float64) *request {
 	r := &request{
-		id: id, size: size, sent: sent, start: start, last: now,
+		id: id, size: size, carrySent: sent, start: start, carryLast: now,
 		bufCap: e.cfg.BufferCapacity, recvCap: e.cfg.ReceiveCap,
 	}
 	s.attach(r)
@@ -30,8 +36,8 @@ func TestAllocateMinimumFlowOnly(t *testing.T) {
 	r1 := addReq(e, s, 1, 3600, 0, 0, 0)
 	r2 := addReq(e, s, 2, 3600, 100, 0, 0)
 	e.allocate(s, 0)
-	if r1.rate != 3 || r2.rate != 3 {
-		t.Errorf("rates = %v, %v; want exactly b_view without workahead", r1.rate, r2.rate)
+	if rateOf(s, r1) != 3 || rateOf(s, r2) != 3 {
+		t.Errorf("rates = %v, %v; want exactly b_view without workahead", rateOf(s, r1), rateOf(s, r2))
 	}
 }
 
@@ -51,11 +57,11 @@ func TestAllocateSpareToEarliestFinisher(t *testing.T) {
 	// 10 Mb/s legitimately goes unused (the receive-bound regime the
 	// paper notes keeps EFTF from provable optimality).
 	for _, r := range []*request{near, mid, far} {
-		if !approx(r.rate, 30, 1e-9) {
-			t.Errorf("request %d rate = %v, want receive cap 30", r.id, r.rate)
+		if !approx(rateOf(s, r), 30, 1e-9) {
+			t.Errorf("request %d rate = %v, want receive cap 30", r.id, rateOf(s, r))
 		}
 	}
-	total := near.rate + mid.rate + far.rate
+	total := rateOf(s, near) + rateOf(s, mid) + rateOf(s, far)
 	if !approx(total, 90, 1e-9) {
 		t.Errorf("allocated %v, want 90 (10 unusable under the cap)", total)
 	}
@@ -71,11 +77,11 @@ func TestAllocateUnlimitedReceive(t *testing.T) {
 	near := addReq(e, s, 1, 3600, 3000, 0, 0)
 	far := addReq(e, s, 2, 3600, 0, 0, 0)
 	e.allocate(s, 0)
-	if !approx(near.rate, 97, 1e-9) {
-		t.Errorf("earliest finisher rate = %v, want all spare (97)", near.rate)
+	if !approx(rateOf(s, near), 97, 1e-9) {
+		t.Errorf("earliest finisher rate = %v, want all spare (97)", rateOf(s, near))
 	}
-	if !approx(far.rate, 3, 1e-9) {
-		t.Errorf("other rate = %v, want b_view", far.rate)
+	if !approx(rateOf(s, far), 3, 1e-9) {
+		t.Errorf("other rate = %v, want b_view", rateOf(s, far))
 	}
 }
 
@@ -90,11 +96,11 @@ func TestAllocateSkipsFullBuffers(t *testing.T) {
 	full := addReq(e, s, 1, 3600, 600, 0, 0)
 	other := addReq(e, s, 2, 3600, 0, 0, 0)
 	e.allocate(s, 0)
-	if !approx(full.rate, 3, 1e-9) {
-		t.Errorf("buffer-full request rate = %v, want b_view only", full.rate)
+	if !approx(rateOf(s, full), 3, 1e-9) {
+		t.Errorf("buffer-full request rate = %v, want b_view only", rateOf(s, full))
 	}
-	if !approx(other.rate, 30, 1e-9) {
-		t.Errorf("other rate = %v, want receive cap", other.rate)
+	if !approx(rateOf(s, other), 30, 1e-9) {
+		t.Errorf("other rate = %v, want receive cap", rateOf(s, other))
 	}
 }
 
@@ -107,8 +113,8 @@ func TestAllocateReceiveCapEqualsViewRate(t *testing.T) {
 	s := mkServer(100, 3)
 	r := addReq(e, s, 1, 3600, 0, 0, 0)
 	e.allocate(s, 0) // must terminate and leave r at b_view
-	if !approx(r.rate, 3, 1e-9) {
-		t.Errorf("rate = %v, want 3 with zero receive headroom", r.rate)
+	if !approx(rateOf(s, r), 3, 1e-9) {
+		t.Errorf("rate = %v, want 3 with zero receive headroom", rateOf(s, r))
 	}
 }
 
@@ -117,10 +123,10 @@ func TestAllocateSuspendedGetsNothing(t *testing.T) {
 	e := &Engine{cfg: cfg}
 	s := mkServer(100, 3)
 	r := addReq(e, s, 1, 3600, 300, 0, 0)
-	r.suspendedUntil = 50
+	s.setSuspend(r, 50)
 	e.allocate(s, 0)
-	if r.rate != 0 {
-		t.Errorf("suspended request rate = %v, want 0", r.rate)
+	if rateOf(s, r) != 0 {
+		t.Errorf("suspended request rate = %v, want 0", rateOf(s, r))
 	}
 }
 
@@ -129,7 +135,7 @@ func TestNextWakeFinishTime(t *testing.T) {
 	e := &Engine{cfg: cfg}
 	s := mkServer(100, 3)
 	r := addReq(e, s, 1, 3600, 3000, 0, 0)
-	r.rate = 3
+	s.ln.rate[r.slot] = 3
 	if got := e.nextWake(s, 0); !approx(got, 200, 1e-9) {
 		t.Errorf("nextWake = %v, want finish at 200 (600 Mb / 3 Mb/s)", got)
 	}
@@ -140,7 +146,7 @@ func TestNextWakeBufferFull(t *testing.T) {
 	e := &Engine{cfg: cfg}
 	s := mkServer(100, 3)
 	r := addReq(e, s, 1, 36000, 0, 0, 0)
-	r.rate = 30
+	s.ln.rate[r.slot] = 30
 	// Buffer fills at 27 Mb/s; 270 Mb capacity → full at t=10, long
 	// before the finish at 1200.
 	if got := e.nextWake(s, 0); !approx(got, 10, 1e-9) {
@@ -153,8 +159,8 @@ func TestNextWakeSuspendedResume(t *testing.T) {
 	e := &Engine{cfg: cfg}
 	s := mkServer(100, 3)
 	r := addReq(e, s, 1, 3600, 600, 0, 0)
-	r.suspendedUntil = 42
-	r.rate = 0
+	s.setSuspend(r, 42)
+	s.ln.rate[r.slot] = 0
 	if got := e.nextWake(s, 0); !approx(got, 42, 1e-9) {
 		t.Errorf("nextWake = %v, want resume at 42", got)
 	}
@@ -205,11 +211,11 @@ func TestSpareDisciplineLFTF(t *testing.T) {
 	near := addReq(e, s, 1, 3600, 3000, 0, 0) // earliest finisher
 	far := addReq(e, s, 2, 3600, 0, 0, 0)     // latest finisher
 	e.allocate(s, 0)
-	if !approx(far.rate, 97, 1e-9) {
-		t.Errorf("latest finisher rate = %v, want all spare under LFTF", far.rate)
+	if !approx(rateOf(s, far), 97, 1e-9) {
+		t.Errorf("latest finisher rate = %v, want all spare under LFTF", rateOf(s, far))
 	}
-	if !approx(near.rate, 3, 1e-9) {
-		t.Errorf("earliest finisher rate = %v, want b_view", near.rate)
+	if !approx(rateOf(s, near), 3, 1e-9) {
+		t.Errorf("earliest finisher rate = %v, want b_view", rateOf(s, near))
 	}
 }
 
@@ -227,8 +233,8 @@ func TestSpareDisciplineEvenSplit(t *testing.T) {
 	e.allocate(s, 0)
 	// Spare = 30 − 9 = 21, split three ways: 7 each → rate 10.
 	for _, r := range []*request{a, b, c} {
-		if !approx(r.rate, 10, 1e-9) {
-			t.Errorf("request %d rate = %v, want 10 under even split", r.id, r.rate)
+		if !approx(rateOf(s, r), 10, 1e-9) {
+			t.Errorf("request %d rate = %v, want 10 under even split", r.id, rateOf(s, r))
 		}
 	}
 }
@@ -249,11 +255,11 @@ func TestSpareDisciplineEvenSplitWaterFilling(t *testing.T) {
 	e.allocate(s, 0)
 	// Spare = 24. capped absorbs 3 (to its 6 Mb/s cap); open takes the
 	// remaining 21 → rate 24.
-	if !approx(capped.rate, 6, 1e-9) {
-		t.Errorf("capped rate = %v, want 6", capped.rate)
+	if !approx(rateOf(s, capped), 6, 1e-9) {
+		t.Errorf("capped rate = %v, want 6", rateOf(s, capped))
 	}
-	if !approx(open.rate, 24, 1e-9) {
-		t.Errorf("open rate = %v, want 24 (water-filling)", open.rate)
+	if !approx(rateOf(s, open), 24, 1e-9) {
+		t.Errorf("open rate = %v, want 24 (water-filling)", rateOf(s, open))
 	}
 }
 
@@ -267,6 +273,56 @@ func TestSpareDisciplineValidation(t *testing.T) {
 	}
 	if SpareDiscipline(9).String() == "" {
 		t.Error("unknown discipline renders empty")
+	}
+}
+
+// TestWakeIndexMatchesScan pins the incremental wake index's core
+// property: after any allocation round, the stored-key answer wakeAt
+// equals the from-scratch scan nextWake bit for bit — across spare
+// disciplines, the intermittent scheduler, suspended slots, and after
+// a detach forces a lazy repair.
+func TestWakeIndexMatchesScan(t *testing.T) {
+	for _, spare := range []SpareDiscipline{EFTF, LFTF, EvenSplit} {
+		for _, intermittent := range []bool{false, true} {
+			for _, k := range []int{1, 7, 33} {
+				bview := 3.0
+				bw := bview * float64(k) * 1.1
+				if intermittent {
+					bw = bview * float64(k) * 0.9 // over-subscribed: pause branch runs
+				}
+				cfg := Config{
+					ServerBandwidth: []float64{bw}, ViewRate: bview,
+					Workahead: true, ReceiveCap: 30, BufferCapacity: 2000,
+					Spare: spare, Intermittent: intermittent,
+				}
+				e := &Engine{cfg: cfg}
+				s := mkServer(bw, bview)
+				for i := 0; i < k; i++ {
+					r := addReq(e, s, int64(i+1), 16200, float64(i*137%16000)+1, 0, 0)
+					if i%5 == 4 {
+						s.setSuspend(r, 50)
+					}
+				}
+				e.allocate(s, 0)
+				if got, want := s.wakeAt(0), e.nextWake(s, 0); got != want {
+					t.Fatalf("spare=%v intermittent=%v k=%d: wakeAt=%v != nextWake=%v",
+						spare, intermittent, k, got, want)
+				}
+				// Detaching a slot invalidates the maintained min; the
+				// repaired answer must still match a scan of the survivors.
+				if k > 1 {
+					s.detach(s.active[0])
+					if !s.ln.wakeDirty && len(s.ln.wake) > 0 {
+						// detach must have marked the index dirty
+						t.Fatalf("spare=%v intermittent=%v k=%d: detach left index clean", spare, intermittent, k)
+					}
+					if got, want := s.wakeAt(0), e.nextWake(s, 0); got != want {
+						t.Fatalf("spare=%v intermittent=%v k=%d after detach: wakeAt=%v != nextWake=%v",
+							spare, intermittent, k, got, want)
+					}
+				}
+			}
+		}
 	}
 }
 

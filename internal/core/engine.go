@@ -108,6 +108,7 @@ type Engine struct {
 	spareGrantBuf    []SpareGrant
 	intermitGrantBuf []IntermittentGrant
 	spareMisorder    bool
+	wakeSkew         bool
 
 	// Streaming observation channels (see observe.go). Always bound —
 	// stats.Discard by default — so recording never branches.
@@ -181,9 +182,12 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 			clearRequests(s.active)
 			s.active = s.active[:0]
 			clearCopies(s.copies)
-			*s = server{id: int32(i), bandwidth: b, slots: cfg.Slots(i), active: s.active, copies: s.copies[:0]}
+			ln := s.ln
+			ln.reset()
+			*s = server{id: int32(i), bandwidth: b, slots: cfg.Slots(i), active: s.active, copies: s.copies[:0], ln: ln}
 		} else {
 			e.servers[i] = &server{id: int32(i), bandwidth: b, slots: cfg.Slots(i)}
+			e.servers[i].ln.beginRound() // an idle server's wake min is +Inf
 		}
 	}
 	e.visited = resizeBools(e.visited, n)
@@ -236,6 +240,7 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 	e.spareGrantBuf = e.spareGrantBuf[:0]
 	e.intermitGrantBuf = e.intermitGrantBuf[:0]
 	e.spareMisorder = false
+	e.wakeSkew = false
 	// cand/evenBuf/touchedBuf are reset at each use; freeList is kept —
 	// recycled requests are the cross-trial reuse this enables.
 	return nil
@@ -579,9 +584,8 @@ func (e *Engine) handleWake(s *server, version uint64, t float64) {
 	}
 	s.syncAll(t)
 	for i := 0; i < len(s.active); {
-		r := s.active[i]
-		if r.finished() {
-			e.finish(r, s, t)
+		if s.finishedAt(i) {
+			e.finish(s.active[i], s, t)
 			continue // detach swapped another request into slot i
 		}
 		i++
@@ -600,7 +604,7 @@ func (e *Engine) handleWake(s *server, version uint64, t float64) {
 func (e *Engine) finish(r *request, s *server, t float64) {
 	s.detach(r)
 	e.metrics.Completions++
-	e.metrics.DeliveredBytes += r.sent
+	e.metrics.DeliveredBytes += r.carrySent // detach just stored the lane state
 	e.observe(ObsMigrations, float64(r.hops))
 	if e.obs != nil {
 		e.obs.OnFinish(t, r.id, int(r.video), int(s.id))
@@ -642,8 +646,8 @@ func (e *Engine) handleFailure(s *server, t float64) {
 			// in degraded mode and try to reconnect later; patch trees
 			// are pinned and mid-switch streams have no data flowing.
 			if e.cfg.Degraded.Enabled && !r.isPatch && r.taps == 0 &&
-				!r.suspended(t) && !r.finished() &&
-				r.bufferAt(t, bview) > dataEps {
+				!s.suspendedAt(0, t) && !s.finishedAt(0) &&
+				s.bufferOf(0, t, bview) > dataEps {
 				e.park(r, s, t)
 				parked++
 				continue
@@ -651,7 +655,7 @@ func (e *Engine) handleFailure(s *server, t float64) {
 			// No home for this stream: it is dropped mid-play.
 			s.detach(r)
 			e.metrics.DroppedStreams++
-			e.metrics.DeliveredBytes += r.sent
+			e.metrics.DeliveredBytes += r.carrySent
 			e.observe(ObsMigrations, float64(r.hops))
 			dropped++
 			e.recycle(r)
@@ -662,7 +666,7 @@ func (e *Engine) handleFailure(s *server, t float64) {
 		target.attach(r)
 		r.hops++
 		if d := e.cfg.Migration.SwitchDelay; d > 0 {
-			r.suspendedUntil = t + d
+			target.setSuspend(r, t+d)
 		}
 		e.metrics.Migrations++
 		e.metrics.RescuedStreams++
@@ -699,7 +703,7 @@ func (e *Engine) newRequest(video int, t float64) *request {
 	r.video = int32(video)
 	r.size = e.cat.Video(video).Size
 	r.start = t
-	r.last = t
+	r.carryLast = t
 	r.viewSyncT = t
 	return r
 }
@@ -740,30 +744,39 @@ func (e *Engine) checkInvariants() {
 		if !e.cfg.Intermittent && len(s.active) > s.slots {
 			panic(fmt.Sprintf("core: server %d holds %d streams, capacity %d", s.id, len(s.active), s.slots))
 		}
+		if n := len(s.active); len(s.ln.rate) != n || len(s.ln.sent) != n ||
+			len(s.ln.last) != n || len(s.ln.susp) != n ||
+			len(s.ln.size) != n || len(s.ln.wake) != n {
+			panic(fmt.Sprintf("core: server %d lane arrays out of step with %d active streams", s.id, n))
+		}
 		total := 0.0
 		for i, r := range s.active {
 			if int(r.slot) != i {
 				panic(fmt.Sprintf("core: server %d slot index corrupt for request %d", s.id, r.id))
 			}
-			total += r.rate
-			if r.sent > r.size+dataEps {
-				panic(fmt.Sprintf("core: request %d sent %g > size %g", r.id, r.sent, r.size))
+			rate, sent, last := s.ln.rate[i], s.ln.sent[i], s.ln.last[i]
+			total += rate
+			if sent > r.size+dataEps {
+				panic(fmt.Sprintf("core: request %d sent %g > size %g", r.id, sent, r.size))
 			}
-			if !e.cfg.Intermittent && !r.suspended(r.last) && !r.finished() && !r.pausedView && r.rate < bview-dataEps {
-				panic(fmt.Sprintf("core: request %d rate %g below minimum flow %g", r.id, r.rate, bview))
+			if s.ln.size[i] != r.size {
+				panic(fmt.Sprintf("core: request %d lane size %g != %g", r.id, s.ln.size[i], r.size))
 			}
-			if e.cfg.Workahead && r.recvCap > 0 && r.rate > r.recvCap+dataEps {
-				panic(fmt.Sprintf("core: request %d rate %g exceeds receive cap %g", r.id, r.rate, r.recvCap))
+			if !e.cfg.Intermittent && !s.suspendedAt(i, last) && !s.finishedAt(i) && !r.pausedView && rate < bview-dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g below minimum flow %g", r.id, rate, bview))
 			}
-			if !e.cfg.Workahead && !r.suspended(r.last) && r.rate > bview+dataEps {
-				panic(fmt.Sprintf("core: request %d rate %g with workahead disabled", r.id, r.rate))
+			if e.cfg.Workahead && r.recvCap > 0 && rate > r.recvCap+dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g exceeds receive cap %g", r.id, rate, r.recvCap))
 			}
-			buf := r.sent - r.viewedAt(r.last, bview)
+			if !e.cfg.Workahead && !s.suspendedAt(i, last) && rate > bview+dataEps {
+				panic(fmt.Sprintf("core: request %d rate %g with workahead disabled", r.id, rate))
+			}
+			buf := sent - r.viewedAt(last, bview)
 			// Underruns are impossible under minimum-flow scheduling;
 			// the intermittent heuristic risks them by design and
 			// accounts for them as glitches instead.
 			if buf < -dataEps && !e.cfg.Intermittent {
-				panic(fmt.Sprintf("core: request %d buffer underrun %g at t=%g", r.id, buf, r.last))
+				panic(fmt.Sprintf("core: request %d buffer underrun %g at t=%g", r.id, buf, last))
 			}
 			if buf > r.bufCap+bview*timeEps+dataEps {
 				panic(fmt.Sprintf("core: request %d buffer %g exceeds capacity %g", r.id, buf, r.bufCap))
@@ -814,8 +827,8 @@ func (e *Engine) Snapshot() []ServerSnapshot {
 	out := make([]ServerSnapshot, len(e.servers))
 	for i, s := range e.servers {
 		total := 0.0
-		for _, r := range s.active {
-			total += r.rate
+		for _, rate := range s.ln.rate {
+			total += rate
 		}
 		out[i] = ServerSnapshot{
 			ID: i, Load: s.load(), Slots: s.slots, Allocated: total, Failed: s.failed,
@@ -829,14 +842,16 @@ func (e *Engine) Snapshot() []ServerSnapshot {
 func (e *Engine) Requests() []RequestSnapshot {
 	var out []RequestSnapshot
 	for _, s := range e.servers {
-		for _, r := range s.active {
-			r.syncTo(e.now)
+		// Advance the streams (but not the copies, whose sync times the
+		// snapshot must not disturb) to the current instant.
+		s.syncStreams(e.now)
+		for i, r := range s.active {
 			out = append(out, RequestSnapshot{
 				ID: r.id, Video: int(r.video), Server: int(r.server),
-				Size: r.size, Sent: r.sent, Rate: r.rate,
-				Buffer:    r.bufferAt(e.now, e.cfg.ViewRate),
+				Size: r.size, Sent: s.ln.sent[i], Rate: s.ln.rate[i],
+				Buffer:    s.bufferOf(i, e.now, e.cfg.ViewRate),
 				Hops:      int(r.hops),
-				Suspended: r.suspended(e.now),
+				Suspended: s.suspendedAt(i, e.now),
 				Glitched:  r.glitched,
 			})
 		}

@@ -182,10 +182,12 @@ func (e *Engine) handleRetry(id int64, t float64) {
 
 // park moves a stream that survived its server's failure into
 // degraded-mode playback: detached from the cluster, rate zero, playing
-// from its client buffer. The caller has verified eligibility.
+// from its client buffer (detach stored the lane state into the carry
+// fields, which hold the fluid state while parked). The caller has
+// verified eligibility.
 func (e *Engine) park(r *request, s *server, t float64) {
 	s.detach(r)
-	r.rate = 0
+	r.carryRate = 0
 	r.parked = true
 	r.parkStart = t
 	if e.parked == nil {
@@ -233,7 +235,7 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 			r.parkVer++
 			best.attach(r)
 			if d > 0 {
-				r.suspendedUntil = t + d
+				best.setSuspend(r, t+d)
 			}
 			e.metrics.DegradedResumed++
 			e.observe(ObsPark, t-r.parkStart)
@@ -249,7 +251,7 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 		r.glitched = true
 		e.metrics.DegradedGlitches++
 		e.metrics.DroppedStreams++
-		e.metrics.DeliveredBytes += r.sent
+		e.metrics.DeliveredBytes += r.carrySent
 		e.observe(ObsPark, t-r.parkStart)
 		e.observe(ObsGlitch, (r.size-r.viewedAt(t, bview))/bview)
 		e.observe(ObsMigrations, float64(r.hops))

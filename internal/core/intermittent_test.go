@@ -166,10 +166,10 @@ func TestIntermittentPausesFullestBufferFirst(t *testing.T) {
 	mid := addReq(e, s, 2, 3600, 300, 0, 0)  // 300 Mb buffered
 	poor := addReq(e, s, 3, 3600, 0, 0, 0)   // nothing buffered
 	e.allocate(s, 0)
-	if poor.rate < 3-dataEps || mid.rate < 3-dataEps {
-		t.Errorf("urgent streams not served: poor=%v mid=%v", poor.rate, mid.rate)
+	if rateOf(s, poor) < 3-dataEps || rateOf(s, mid) < 3-dataEps {
+		t.Errorf("urgent streams not served: poor=%v mid=%v", rateOf(s, poor), rateOf(s, mid))
 	}
-	if rich.rate != 0 {
-		t.Errorf("fullest-buffer stream rate = %v, want paused", rich.rate)
+	if rateOf(s, rich) != 0 {
+		t.Errorf("fullest-buffer stream rate = %v, want paused", rateOf(s, rich))
 	}
 }

@@ -1,0 +1,126 @@
+package core
+
+import "math"
+
+// lane is a server's structure-of-arrays data plane: the per-request
+// hot fields (rate, sent, last-sync, suspension deadline, object size)
+// and the stored wake keys, held in parallel float64 slices indexed by
+// request slot. The pointer slice server.active carries everything
+// cold (identity, viewer state, client caps, patching/park flags); the
+// lane carries everything the per-event passes — syncAll, the
+// allocation feeds, the wake query — actually touch, so those passes
+// stream contiguous arrays instead of chasing pointers across a
+// 100+-byte struct.
+//
+// Ownership contract: while a request is attached the lane is the only
+// authoritative copy of its hot fields; the request struct's carry*
+// fields are a marshaling area valid only while detached (parked
+// streams, the freelist). attach loads carry → lane; detach stores
+// lane → carry and swap-removes the slot. size never changes while
+// attached, so its lane mirror cannot go stale.
+//
+// Wake-index contract (see wake.go for the scheduling semantics): each
+// slot stores the request's wake key — the earliest of its finish,
+// buffer-full, and resume-guard candidates, computed by the allocation
+// round that assigned its current rate; copy jobs store theirs on the
+// copyJob. wakeMin/wakeArg maintain the min over all stored keys
+// incrementally: beginRound resets them, setWake folds each write, and
+// anything that removes or raises a key marks the index dirty so the
+// next query lazily repairs it by rescanning the stored keys (compare
+// only — the keys themselves are never recomputed outside a round,
+// which is what keeps the incremental answer bit-identical to a
+// from-scratch min over the same keys).
+type lane struct {
+	rate []float64 // current allocation, Mb/s
+	sent []float64 // Mb transmitted, valid as of last
+	last []float64 // time sent was last synced
+	susp []float64 // suspension deadline (mid-switch blackout)
+	size []float64 // object size mirror, immutable while attached
+	wake []float64 // stored wake key (+Inf = no wake needed)
+
+	wakeMin   float64 // min over wake ∪ copy keys, valid unless dirty
+	wakeArg   int32   // slot of the min; wakeArgCopy for a copy job
+	wakeDirty bool    // a key was removed or raised since the last fold
+}
+
+// wakeArg sentinel values. Slots are ≥ 0.
+const (
+	wakeArgNone = int32(-1) // no key folded yet (idle server)
+	wakeArgCopy = int32(-2) // the min is a copy job's key
+)
+
+// attach appends r's carried hot fields as a new lane slot. The wake
+// key starts at +Inf; the reschedule that follows every attach writes
+// the real key (+Inf cannot lower the maintained min, so no
+// invalidation is needed).
+func (ln *lane) attach(r *request) {
+	ln.rate = append(ln.rate, r.carryRate)
+	ln.sent = append(ln.sent, r.carrySent)
+	ln.last = append(ln.last, r.carryLast)
+	ln.susp = append(ln.susp, r.carrySusp)
+	ln.size = append(ln.size, r.size)
+	ln.wake = append(ln.wake, math.Inf(1))
+}
+
+// detach stores slot i back into r's carry fields and swap-removes the
+// slot, mirroring server.detach's swap of the active slice. Removing a
+// key can orphan the maintained min, so the index goes dirty.
+func (ln *lane) detach(r *request, i, last int) {
+	r.carryRate, r.carrySent, r.carryLast, r.carrySusp =
+		ln.rate[i], ln.sent[i], ln.last[i], ln.susp[i]
+	ln.rate[i] = ln.rate[last]
+	ln.rate = ln.rate[:last]
+	ln.sent[i] = ln.sent[last]
+	ln.sent = ln.sent[:last]
+	ln.last[i] = ln.last[last]
+	ln.last = ln.last[:last]
+	ln.susp[i] = ln.susp[last]
+	ln.susp = ln.susp[:last]
+	ln.size[i] = ln.size[last]
+	ln.size = ln.size[:last]
+	ln.wake[i] = ln.wake[last]
+	ln.wake = ln.wake[:last]
+	ln.wakeDirty = true
+}
+
+// beginRound opens an allocation round: every slot's key is about to be
+// rewritten, so the maintained min restarts empty. Copy keys are
+// rewritten by the same round (allocateCopies), so they restart too.
+func (ln *lane) beginRound() {
+	ln.wakeMin = math.Inf(1)
+	ln.wakeArg = wakeArgNone
+	ln.wakeDirty = false
+}
+
+// setWake stores slot i's wake key and folds it into the maintained
+// min. Within a round a slot's key can be rewritten (the spare feed
+// raises rates, which only lowers keys); a raise of the current min is
+// still handled, by marking the index dirty.
+func (ln *lane) setWake(i int32, k float64) {
+	ln.wake[i] = k
+	if k <= ln.wakeMin {
+		ln.wakeMin, ln.wakeArg = k, i
+	} else if ln.wakeArg == i {
+		ln.wakeDirty = true
+	}
+}
+
+// foldCopyKey folds a copy job's freshly written key into the
+// maintained min (the key itself lives on the copyJob).
+func (ln *lane) foldCopyKey(k float64) {
+	if k <= ln.wakeMin {
+		ln.wakeMin, ln.wakeArg = k, wakeArgCopy
+	}
+}
+
+// reset returns the lane to its empty state, retaining slice capacity
+// for Engine.Reset reuse.
+func (ln *lane) reset() {
+	ln.rate = ln.rate[:0]
+	ln.sent = ln.sent[:0]
+	ln.last = ln.last[:0]
+	ln.susp = ln.susp[:0]
+	ln.size = ln.size[:0]
+	ln.wake = ln.wake[:0]
+	ln.beginRound()
+}

@@ -31,12 +31,14 @@ func (e *Engine) eligibleTarget(r *request, t *server, now float64) bool {
 	return true
 }
 
-// migratable reports whether request r may move at all (hops budget,
-// not mid-switch, and — when switching takes time — enough buffered
-// data to mask the blackout). rescue bypasses the hops budget: a stream
-// on a failing server is moved if at all possible.
+// migratable reports whether the attached request r may move at all
+// (hops budget, not mid-switch, and — when switching takes time —
+// enough buffered data to mask the blackout). rescue bypasses the hops
+// budget: a stream on a failing server is moved if at all possible.
+// r's server must be synced to now.
 func (e *Engine) migratable(r *request, now float64, rescue bool) bool {
-	if r.suspended(now) {
+	s := e.servers[r.server]
+	if s.suspendedAt(int(r.slot), now) {
 		return false
 	}
 	if r.isPatch || r.taps > 0 {
@@ -52,7 +54,7 @@ func (e *Engine) migratable(r *request, now float64, rescue bool) bool {
 	}
 	if d := e.cfg.Migration.SwitchDelay; d > 0 {
 		need := d * e.cfg.ViewRate
-		if r.bufferAt(now, e.cfg.ViewRate) < need-dataEps {
+		if s.bufferOf(int(r.slot), now, e.cfg.ViewRate) < need-dataEps {
 			e.metrics.MigrationsRefusedByBuffer++
 			return false
 		}
@@ -85,7 +87,7 @@ func (e *Engine) executeMoves(plan []move, now float64, rescue bool) {
 		m.to.attach(m.r)
 		m.r.hops++
 		if d := e.cfg.Migration.SwitchDelay; d > 0 {
-			m.r.suspendedUntil = now + d
+			m.to.setSuspend(m.r, now+d)
 		}
 		e.metrics.Migrations++
 		if e.obs != nil {

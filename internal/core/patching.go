@@ -73,30 +73,32 @@ func (e *Engine) tryPatchJoin(v int, t float64, bufCap, recvCap float64) (*serve
 	}
 	// Find the cheapest tappable primary: smallest missed prefix wins.
 	var primary *request
+	var primarySent float64
 	for _, h := range e.holders(v) {
 		s := e.servers[h]
 		if s.failed {
 			continue
 		}
 		synced := false
-		for _, r := range s.active {
-			if int(r.video) != v || r.isPatch || r.suspended(t) {
+		for i, r := range s.active {
+			if int(r.video) != v || r.isPatch || s.suspendedAt(i, t) {
 				continue
 			}
 			if !synced {
 				s.syncAll(t)
 				synced = true
 			}
-			if r.finished() || r.sent > maxPrefix+dataEps {
+			sent := s.ln.sent[i]
+			if s.finishedAt(i) || sent > maxPrefix+dataEps {
 				continue
 			}
 			// The primary's server must also have a slot for the patch.
 			if !e.canAccept(s, t) {
 				continue
 			}
-			if primary == nil || r.sent < primary.sent ||
-				(r.sent == primary.sent && r.id < primary.id) {
-				primary = r
+			if primary == nil || sent < primarySent ||
+				(sent == primarySent && r.id < primary.id) {
+				primary, primarySent = r, sent
 			}
 		}
 	}
@@ -106,7 +108,7 @@ func (e *Engine) tryPatchJoin(v int, t float64, bufCap, recvCap float64) (*serve
 	s := e.servers[primary.server]
 	s.syncAll(t)
 
-	prefix := primary.sent
+	prefix := primarySent
 	if prefix < dataEps {
 		prefix = dataEps // a pure join still needs a (vanishing) patch
 	}

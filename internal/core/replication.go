@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Dynamic replication: the "more resource intensive solution" the paper
 // contrasts DRM against in Section 3.1 ("perform dynamic replication of
 // the requested object on another server where resources can be made
@@ -40,6 +42,13 @@ type copyJob struct {
 	sent   float64
 	rate   float64
 	last   float64 // time sent was last synced
+
+	// wakeKey is the job's stored wake key — its projected completion,
+	// written by allocateCopies each allocation round on the source
+	// (+Inf while unfed). Copy jobs are few, so their keys stay on the
+	// job rather than in the source's lane arrays; the lane's
+	// maintained min folds them in (see wake.go).
+	wakeKey float64
 }
 
 // syncTo advances the transfer to time t.
@@ -138,7 +147,7 @@ func (e *Engine) startReplication(v int32, t float64) {
 		return
 	}
 	src.syncAll(t)
-	job := &copyJob{video: v, source: src.id, target: dst.id, size: size, last: t}
+	job := &copyJob{video: v, source: src.id, target: dst.id, size: size, last: t, wakeKey: math.Inf(1)}
 	src.copies = append(src.copies, job)
 	if e.copying == nil {
 		e.copying = make(map[int32]bool)
@@ -181,7 +190,8 @@ func (e *Engine) storageUsed(s int) float64 {
 
 // finishCopy installs the completed replica and retires the job.
 func (e *Engine) finishCopy(s *server, c *copyJob, t float64) {
-	// Remove from the source's job list.
+	// Remove from the source's job list; its stored wake key goes with
+	// it, so the source's wake index must be repaired before reuse.
 	for i, x := range s.copies {
 		if x == c {
 			s.copies[i] = s.copies[len(s.copies)-1]
@@ -190,6 +200,7 @@ func (e *Engine) finishCopy(s *server, c *copyJob, t float64) {
 			break
 		}
 	}
+	s.ln.wakeDirty = true
 	delete(e.copying, c.video)
 	// Install the merged holder list.
 	merged := append([]int32(nil), e.holders(int(c.video))...)
@@ -218,7 +229,11 @@ func (e *Engine) abortCopies(failed *server) {
 		e.metrics.ReplicationsAborted++
 	}
 	failed.copies = nil
-	// Jobs targeting the failed server from elsewhere.
+	failed.ln.wakeDirty = true
+	// Jobs targeting the failed server from elsewhere. Removing a job
+	// removes its stored wake key, so each pruned source's wake index
+	// goes dirty (its scheduled wake event stays valid — it just fires
+	// at the aborted job's old key and reallocates, exactly as before).
 	for _, s := range e.servers {
 		if s == failed {
 			continue
@@ -228,6 +243,7 @@ func (e *Engine) abortCopies(failed *server) {
 			if c.target == failed.id {
 				delete(e.copying, c.video)
 				e.metrics.ReplicationsAborted++
+				s.ln.wakeDirty = true
 				continue
 			}
 			kept = append(kept, c)

@@ -9,8 +9,8 @@ const (
 )
 
 // request is the engine's per-stream state. Between events a request
-// transmits at the piecewise-constant rate `rate`; `sent` is synced
-// lazily to the current time before any decision that reads it.
+// transmits at the piecewise-constant rate of its lane slot; sent data
+// is synced lazily to the current time before any decision reads it.
 //
 // Playback starts at admission and consumes data at the view rate
 // except while the viewer has paused (the interactivity extension), so
@@ -22,16 +22,28 @@ const (
 // A request is "unfinished" while sent < size; the server releases its
 // bandwidth the moment transmission completes, even though the client
 // keeps playing from its buffer afterwards.
+//
+// Hot-field ownership: while the request is attached to a server, its
+// fluid hot fields (rate, sent, last, suspension deadline) live in the
+// server's lane at index slot — read and write them there. The carry*
+// fields below are the detached representation only: server.detach
+// stores the lane slot into them, attach loads them back, and the
+// fluid methods on request (syncTo, bufferAt, remaining, finished,
+// suspended) operate on them — legal only for detached requests
+// (parked streams playing from their buffers, freelist entries, and
+// requests not yet attached).
 type request struct {
 	id    int64
 	video int32
 	size  float64 // Mb
 	start float64 // admission == playback start time
 
-	server int32   // current data source
-	sent   float64 // Mb transmitted, valid as of `last`
-	rate   float64 // current allocation, Mb/s
-	last   float64 // time `sent` was last synced
+	server int32 // current data source
+
+	// Carried hot fields, valid only while detached (see above).
+	carrySent float64 // Mb transmitted, valid as of carryLast
+	carryRate float64 // current allocation, Mb/s
+	carryLast float64 // time carrySent was last synced
 
 	// Viewer playback state. viewOffset is the data consumed as of
 	// viewSyncT; while pausedView is set the offset is frozen.
@@ -57,9 +69,11 @@ type request struct {
 	// intermittent scheduler — a playback interruption the client saw.
 	glitched bool
 
-	// suspendedUntil > last marks a stream mid-switch: it holds a slot
-	// on the target server but receives no data until this time.
-	suspendedUntil float64
+	// carrySusp > carryLast marks a stream mid-switch: it holds a slot
+	// on the target server but receives no data until this time. Like
+	// the other carry fields it is the detached copy; attached streams
+	// keep the deadline in lane.susp.
+	carrySusp float64
 
 	// parked marks a stream in degraded-mode playback: detached from
 	// every server after a failure, draining its client buffer while it
@@ -74,18 +88,19 @@ type request struct {
 	slot int32
 }
 
-// syncTo advances the fluid state to time t.
+// syncTo advances the carried fluid state to time t. Detached requests
+// only (attached streams are advanced by server.syncAll on the lane).
 func (r *request) syncTo(t float64) {
-	if t <= r.last {
+	if t <= r.carryLast {
 		return
 	}
-	if r.rate > 0 {
-		r.sent += r.rate * (t - r.last)
-		if r.sent > r.size {
-			r.sent = r.size // clamp float accumulation error
+	if r.carryRate > 0 {
+		r.carrySent += r.carryRate * (t - r.carryLast)
+		if r.carrySent > r.size {
+			r.carrySent = r.size // clamp float accumulation error
 		}
 	}
-	r.last = t
+	r.carryLast = t
 }
 
 // viewedAt returns the data consumed by playback at time t.
@@ -125,30 +140,31 @@ func (r *request) drainRate(bview float64) float64 {
 	return bview
 }
 
-// bufferAt returns the client buffer occupancy at time t. The request
-// must already be synced to t.
+// bufferAt returns the client buffer occupancy at time t from the
+// carried state. Detached requests only; must be synced to t.
 func (r *request) bufferAt(t float64, bview float64) float64 {
-	b := r.sent - r.viewedAt(t, bview)
+	b := r.carrySent - r.viewedAt(t, bview)
 	if b < 0 {
 		return 0 // float noise only; the model guarantees buffer ≥ 0
 	}
 	return b
 }
 
-// remaining returns the untransmitted volume.
+// remaining returns the untransmitted volume of the carried state.
 func (r *request) remaining() float64 {
-	rem := r.size - r.sent
+	rem := r.size - r.carrySent
 	if rem < 0 {
 		return 0
 	}
 	return rem
 }
 
-// finished reports whether transmission is complete.
+// finished reports whether transmission is complete (carried state).
 func (r *request) finished() bool { return r.remaining() <= dataEps }
 
-// suspended reports whether the stream is mid-switch at time t.
-func (r *request) suspended(t float64) bool { return r.suspendedUntil > t+timeEps }
+// suspended reports whether the stream is mid-switch at time t
+// (carried state).
+func (r *request) suspended(t float64) bool { return r.carrySusp > t+timeEps }
 
 // deadline returns the time by which transmission must complete for
 // uninterrupted playback, given the playback state as of now: when

@@ -6,27 +6,27 @@ import (
 )
 
 func TestRequestSync(t *testing.T) {
-	r := &request{size: 3600, start: 0, last: 0, rate: 6}
+	r := &request{size: 3600, start: 0, carryLast: 0, carryRate: 6}
 	r.syncTo(100)
-	if !approx(r.sent, 600, 1e-9) {
-		t.Errorf("sent = %v, want 600", r.sent)
+	if !approx(r.carrySent, 600, 1e-9) {
+		t.Errorf("sent = %v, want 600", r.carrySent)
 	}
 	// Sync is idempotent and never moves backwards.
 	r.syncTo(100)
 	r.syncTo(50)
-	if !approx(r.sent, 600, 1e-9) {
-		t.Errorf("sent after re-sync = %v, want 600", r.sent)
+	if !approx(r.carrySent, 600, 1e-9) {
+		t.Errorf("sent after re-sync = %v, want 600", r.carrySent)
 	}
-	if r.last != 100 {
-		t.Errorf("last = %v, want 100", r.last)
+	if r.carryLast != 100 {
+		t.Errorf("last = %v, want 100", r.carryLast)
 	}
 }
 
 func TestRequestSyncClampsAtSize(t *testing.T) {
-	r := &request{size: 100, rate: 10, last: 0}
+	r := &request{size: 100, carryRate: 10, carryLast: 0}
 	r.syncTo(1000)
-	if r.sent != 100 {
-		t.Errorf("sent = %v, want clamp at size 100", r.sent)
+	if r.carrySent != 100 {
+		t.Errorf("sent = %v, want clamp at size 100", r.carrySent)
 	}
 	if !r.finished() {
 		t.Error("request not finished after transmitting everything")
@@ -52,7 +52,7 @@ func TestViewedAt(t *testing.T) {
 
 func TestBufferAt(t *testing.T) {
 	const bview = 3.0
-	r := &request{size: 3000, start: 0, last: 0, rate: 9}
+	r := &request{size: 3000, start: 0, carryLast: 0, carryRate: 9}
 	r.syncTo(100) // sent 900, viewed 300
 	if got := r.bufferAt(100, bview); !approx(got, 600, 1e-9) {
 		t.Errorf("buffer = %v, want 600", got)
@@ -61,7 +61,7 @@ func TestBufferAt(t *testing.T) {
 
 func TestBufferNeverNegative(t *testing.T) {
 	const bview = 3.0
-	r := &request{size: 3000, start: 0, last: 0, rate: 3}
+	r := &request{size: 3000, start: 0, carryLast: 0, carryRate: 3}
 	r.syncTo(10)
 	// sent == viewed: float noise must not yield a negative buffer.
 	if got := r.bufferAt(10, bview); got < 0 {
@@ -70,14 +70,14 @@ func TestBufferNeverNegative(t *testing.T) {
 }
 
 func TestRemainingAndFinished(t *testing.T) {
-	r := &request{size: 100, sent: 40}
+	r := &request{size: 100, carrySent: 40}
 	if got := r.remaining(); got != 60 {
 		t.Errorf("remaining() = %v, want 60", got)
 	}
 	if r.finished() {
 		t.Error("finished() with 60 Mb left")
 	}
-	r.sent = 100 - dataEps/2
+	r.carrySent = 100 - dataEps/2
 	if !r.finished() {
 		t.Error("finished() false within tolerance of completion")
 	}
@@ -91,7 +91,7 @@ func TestDeadline(t *testing.T) {
 }
 
 func TestSuspended(t *testing.T) {
-	r := &request{suspendedUntil: 100}
+	r := &request{carrySusp: 100}
 	if !r.suspended(50) {
 		t.Error("suspended(50) = false with suspendedUntil=100")
 	}
@@ -110,20 +110,20 @@ func TestFluidInvariantProperty(t *testing.T) {
 	prop := func(rateRaw, sizeRaw uint16, steps []uint8) bool {
 		rate := bview + float64(rateRaw%100)
 		size := 300 + float64(sizeRaw%10000)
-		r := &request{size: size, start: 0, last: 0, rate: rate}
+		r := &request{size: size, start: 0, carryLast: 0, carryRate: rate}
 		now := 0.0
 		for _, s := range steps {
 			now += float64(s) / 7
 			r.syncTo(now)
 			viewed := r.viewedAt(now, bview)
-			if viewed < 0 || viewed > r.sent+dataEps || r.sent > r.size+dataEps {
+			if viewed < 0 || viewed > r.carrySent+dataEps || r.carrySent > r.size+dataEps {
 				return false
 			}
 			if r.bufferAt(now, bview) < 0 {
 				return false
 			}
 			if r.finished() {
-				r.rate = 0
+				r.carryRate = 0
 			}
 		}
 		return true

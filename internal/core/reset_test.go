@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"semicont/internal/catalog"
@@ -52,6 +54,55 @@ func TestResetEquivalence(t *testing.T) {
 		}
 		if *mf != *mr {
 			t.Errorf("seed %d: metrics diverge\nfresh:  %+v\nreused: %+v", seed, *mf, *mr)
+		}
+	}
+}
+
+// TestResetClearsLanes walks the lane struct by reflection so the check
+// cannot silently rot: every slice field must be truncated to length
+// zero by Reset (capacity may be retained — that is the point of engine
+// reuse), the wake-index scalars must be back at their empty-server
+// values, and any field of a kind this test does not recognize fails it
+// outright — adding a hot-field array to lane without teaching
+// lane.reset (and this test) about it is a bug.
+func TestResetClearsLanes(t *testing.T) {
+	cfg, cat, lay, mkSrc := kitchenSinkParts(t, 7)
+	e, err := NewEngine(cfg, cat, lay, mkSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(1800); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(cfg, cat, lay, mkSrc()); err != nil {
+		t.Fatal(err)
+	}
+	for si := range e.servers {
+		ln := reflect.ValueOf(&e.servers[si].ln).Elem()
+		tp := ln.Type()
+		for fi := 0; fi < tp.NumField(); fi++ {
+			f := tp.Field(fi)
+			v := ln.Field(fi)
+			switch {
+			case f.Type.Kind() == reflect.Slice:
+				if v.Len() != 0 {
+					t.Errorf("server %d: lane.%s has %d entries after Reset", si, f.Name, v.Len())
+				}
+			case f.Name == "wakeMin":
+				if got := v.Float(); !math.IsInf(got, 1) {
+					t.Errorf("server %d: lane.wakeMin = %v after Reset, want +Inf", si, got)
+				}
+			case f.Name == "wakeArg":
+				if got := v.Int(); got != int64(wakeArgNone) {
+					t.Errorf("server %d: lane.wakeArg = %d after Reset, want %d", si, got, wakeArgNone)
+				}
+			case f.Name == "wakeDirty":
+				if v.Bool() {
+					t.Errorf("server %d: lane.wakeDirty set after Reset", si)
+				}
+			default:
+				t.Errorf("lane.%s: kind %s not covered by this test — extend lane.reset and the cases above", f.Name, f.Type.Kind())
+			}
 		}
 	}
 }

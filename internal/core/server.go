@@ -11,6 +11,11 @@ type server struct {
 	active []*request // unfinished requests currently assigned here
 	copies []*copyJob // replica transfers sourced from this server
 
+	// ln is the server's structure-of-arrays data plane: the active
+	// requests' hot fields and the stored wake keys, parallel to the
+	// active slice (see lane.go for the ownership contract).
+	ln lane
+
 	// version lazily invalidates scheduled wake events: an event whose
 	// version no longer matches is stale and is dropped on pop.
 	version uint64
@@ -30,18 +35,22 @@ func (s *server) hasSlot() bool {
 // smallest load (Section 3.2's request assignment rule).
 func (s *server) load() int { return len(s.active) }
 
-// attach adds r to the active set.
+// attach adds r to the active set, loading its carried hot fields into
+// the lane.
 func (s *server) attach(r *request) {
 	r.server = s.id
 	r.slot = int32(len(s.active))
 	s.active = append(s.active, r)
+	s.ln.attach(r)
 }
 
 // detach removes r from the active set in O(1) by swapping the last
-// element into its slot.
+// element into its slot, storing the lane slot back into r's carry
+// fields.
 func (s *server) detach(r *request) {
 	i := int(r.slot)
 	last := len(s.active) - 1
+	s.ln.detach(r, i, last)
 	s.active[i] = s.active[last]
 	s.active[i].slot = int32(i)
 	s.active[last] = nil
@@ -52,10 +61,66 @@ func (s *server) detach(r *request) {
 // syncAll advances every active request's and copy job's fluid state
 // to time t.
 func (s *server) syncAll(t float64) {
-	for _, r := range s.active {
-		r.syncTo(t)
-	}
+	s.syncStreams(t)
 	for _, c := range s.copies {
 		c.syncTo(t)
 	}
 }
+
+// syncStreams advances the active requests' fluid state to time t: one
+// pass over the lane's contiguous arrays, the same arithmetic (and the
+// same size clamp) request.syncTo applies to the carried state.
+func (s *server) syncStreams(t float64) {
+	lastA := s.ln.last
+	// Reslicing to lastA's length lets the compiler drop the per-element
+	// bounds checks on the parallel arrays.
+	rateA := s.ln.rate[:len(lastA)]
+	sentA := s.ln.sent[:len(lastA)]
+	sizeA := s.ln.size[:len(lastA)]
+	for i, last := range lastA {
+		if t <= last {
+			continue
+		}
+		if rate := rateA[i]; rate > 0 {
+			sent := sentA[i] + rate*(t-last)
+			if sent > sizeA[i] {
+				sent = sizeA[i]
+			}
+			sentA[i] = sent
+		}
+		lastA[i] = t
+	}
+}
+
+// Per-slot fluid reads, the lane counterparts of the carry-state
+// methods on request.
+
+// remainingOf returns slot i's untransmitted volume.
+func (s *server) remainingOf(i int) float64 {
+	rem := s.ln.size[i] - s.ln.sent[i]
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// finishedAt reports whether slot i's transmission is complete.
+func (s *server) finishedAt(i int) bool { return s.remainingOf(i) <= dataEps }
+
+// suspendedAt reports whether slot i is mid-switch at time t.
+func (s *server) suspendedAt(i int, t float64) bool { return s.ln.susp[i] > t+timeEps }
+
+// bufferOf returns slot i's client buffer occupancy at time t. The
+// slot must be synced to t.
+func (s *server) bufferOf(i int, t, bview float64) float64 {
+	b := s.ln.sent[i] - s.active[i].viewedAt(t, bview)
+	if b < 0 {
+		return 0 // float noise only; the model guarantees buffer ≥ 0
+	}
+	return b
+}
+
+// setSuspend sets the attached request r's suspension deadline (a
+// mid-switch blackout, written after attach by migration and park
+// reconnection).
+func (s *server) setSuspend(r *request, until float64) { s.ln.susp[r.slot] = until }

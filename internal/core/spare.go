@@ -14,6 +14,11 @@ import "math"
 // reports every would-be grant in feed order); the per-request rates
 // are identical either way because Index.Pop yields exactly Sort's
 // order, and the grant arithmetic is the same code.
+//
+// Every feed rewrites the wake key of each slot whose rate it raises
+// (see wake.go): a raised rate moves both the finish and the
+// buffer-full candidate earlier, so the rewrite only lowers the key
+// and the lane's running min stays valid.
 
 // gatherSpareCandidates fills e.cand with s's staging candidates at
 // time t: unfinished (always true for active requests), not suspended,
@@ -23,10 +28,16 @@ import "math"
 func (e *Engine) gatherSpareCandidates(s *server, t float64, descending bool) {
 	bview := e.cfg.ViewRate
 	e.cand.Reset(descending)
-	for i, r := range s.active {
-		if r.suspended(t) || r.rate <= 0 {
+	ln := &s.ln
+	rateA := ln.rate
+	suspA := ln.susp[:len(rateA)]
+	sentA := ln.sent[:len(rateA)]
+	sizeA := ln.size[:len(rateA)]
+	for i := range rateA {
+		if suspA[i] > t+timeEps || rateA[i] <= 0 {
 			continue
 		}
+		r := s.active[i]
 		// Streams feeding multicast taps cannot run ahead (the shared
 		// receivers' buffers bound the sender), and patch streams share
 		// their client's buffer with the tapped remainder, so both stay
@@ -34,18 +45,31 @@ func (e *Engine) gatherSpareCandidates(s *server, t float64, descending bool) {
 		if r.taps > 0 || r.isPatch {
 			continue
 		}
-		if r.bufCap > 0 && r.bufferAt(t, bview) < r.bufCap-dataEps {
-			e.cand.Add(r.remaining(), r.id, int32(i))
+		// bufferOf and remainingOf unrolled onto one sent load (and the r
+		// chase already paid above); same operations, same clamps.
+		sent := sentA[i]
+		if r.bufCap > 0 {
+			buf := sent - r.viewedAt(t, bview)
+			if buf < 0 {
+				buf = 0
+			}
+			if buf < r.bufCap-dataEps {
+				rem := sizeA[i] - sent
+				if rem < 0 {
+					rem = 0
+				}
+				e.cand.Add(rem, r.id, int32(i))
+			}
 		}
 	}
 }
 
 // spareGrantTo computes how much spare a candidate can absorb:
 // min(avail, receive headroom), clamped at zero for saturated clients.
-func spareGrantTo(r *request, avail float64) float64 {
+func spareGrantTo(rate, recvCap, avail float64) float64 {
 	headroom := math.Inf(1)
-	if r.recvCap > 0 {
-		headroom = r.recvCap - r.rate
+	if recvCap > 0 {
+		headroom = recvCap - rate
 	}
 	extra := headroom
 	if extra > avail {
@@ -86,12 +110,15 @@ func (e *Engine) feedSpareOrdered(s *server, t float64, avail float64, descendin
 		e.feedSpareAudited(s, t, avail)
 		return
 	}
+	ln := &s.ln
 	e.cand.Init()
 	for avail > dataEps && e.cand.Len() > 0 {
-		r := s.active[e.cand.Pop().Pos]
-		if extra := spareGrantTo(r, avail); extra > 0 {
-			r.rate += extra
+		i := e.cand.Pop().Pos
+		r := s.active[i]
+		if extra := spareGrantTo(ln.rate[i], r.recvCap, avail); extra > 0 {
+			ln.rate[i] += extra
 			avail -= extra
+			ln.setWake(i, e.wakeKeyServing(s, r, int(i), t))
 		}
 	}
 }
@@ -101,20 +128,23 @@ func (e *Engine) feedSpareOrdered(s *server, t float64, avail float64, descendin
 // reported to the SpareOrder tap in feed order, which requires the full
 // sort the hot path avoids.
 func (e *Engine) feedSpareAudited(s *server, t float64, avail float64) {
+	ln := &s.ln
 	grants := e.spareGrantBuf[:0]
 	for _, ent := range e.cand.Sort() {
-		r := s.active[ent.Pos]
+		i := ent.Pos
+		r := s.active[i]
 		var extra float64
 		if avail > dataEps {
-			extra = spareGrantTo(r, avail)
+			extra = spareGrantTo(ln.rate[i], r.recvCap, avail)
 		}
 		grants = append(grants, SpareGrant{
-			Request: r.id, Remaining: ent.Key,
-			RateBefore: r.rate, Extra: extra, RecvCap: r.recvCap,
+			Request: ent.ID, Remaining: ent.Key,
+			RateBefore: ln.rate[i], Extra: extra, RecvCap: r.recvCap,
 		})
 		if extra > 0 {
-			r.rate += extra
+			ln.rate[i] += extra
 			avail -= extra
+			ln.setWake(i, e.wakeKeyServing(s, r, int(i), t))
 		}
 	}
 	e.spareGrantBuf = grants
@@ -124,12 +154,15 @@ func (e *Engine) feedSpareAudited(s *server, t float64, avail float64) {
 // feedSpareEven water-fills spare equally across the candidates,
 // redistributing what saturated clients cannot absorb. Candidates are
 // processed in active order (the discipline is order-free by design and
-// emits no feed-order tap).
+// emits no feed-order tap). A candidate can be fed across several
+// rounds, so the wake keys are written once at the end, from the final
+// rates — the same values a post-feed scan would have read.
 func (e *Engine) feedSpareEven(s *server, t float64, avail float64) {
 	e.gatherSpareCandidates(s, t, false)
 	if e.cand.Len() == 0 {
 		return
 	}
+	ln := &s.ln
 	// All() returns insertion order (nothing has been popped or sorted);
 	// the survivor filter works on a separate scratch so it cannot
 	// corrupt the index storage.
@@ -139,10 +172,10 @@ func (e *Engine) feedSpareEven(s *server, t float64, avail float64) {
 		share := avail / float64(len(remaining))
 		next := remaining[:0]
 		for _, ent := range remaining {
-			r := s.active[ent.Pos]
+			i := ent.Pos
 			headroom := math.Inf(1)
-			if r.recvCap > 0 {
-				headroom = r.recvCap - r.rate
+			if recvCap := s.active[i].recvCap; recvCap > 0 {
+				headroom = recvCap - ln.rate[i]
 			}
 			extra := share
 			if extra >= headroom {
@@ -151,7 +184,7 @@ func (e *Engine) feedSpareEven(s *server, t float64, avail float64) {
 				next = append(next, ent) // can absorb more next round
 			}
 			if extra > 0 {
-				r.rate += extra
+				ln.rate[i] += extra
 				avail -= extra
 			}
 		}
@@ -160,13 +193,17 @@ func (e *Engine) feedSpareEven(s *server, t float64, avail float64) {
 		}
 		remaining = next
 	}
+	for _, ent := range e.cand.All() {
+		ln.setWake(ent.Pos, e.wakeKeyServing(s, s.active[ent.Pos], int(ent.Pos), t))
+	}
 }
 
 // allocateCopies feeds replica transfers from the spare bandwidth left
 // after the minimum-flow guarantee and ahead of client staging: fixing
 // placement is the more durable use of the spare. Each job is capped so
-// replication cannot monopolize the workahead benefit.
-func (e *Engine) allocateCopies(s *server, avail float64) float64 {
+// replication cannot monopolize the workahead benefit. Each job's wake
+// key for the round is written here (its projected completion).
+func (e *Engine) allocateCopies(s *server, t float64, avail float64) float64 {
 	if len(s.copies) == 0 {
 		return avail
 	}
@@ -185,13 +222,20 @@ func (e *Engine) allocateCopies(s *server, avail float64) float64 {
 			avail = 0
 			rateCap = 0
 		}
+		if r > 0 {
+			c.wakeKey = t + (c.size-c.sent)/r
+		} else {
+			c.wakeKey = math.Inf(1)
+		}
+		s.ln.foldCopyKey(c.wakeKey)
 	}
 	return avail
 }
 
-// pausedAndFull reports whether r's viewer has paused with no buffer
-// room left: transmission must stop or the client buffer would
+// pausedFullAt reports whether slot i's viewer has paused with no
+// buffer room left: transmission must stop or the client buffer would
 // overflow (with no staging buffer at all, any pause stops the flow).
-func (e *Engine) pausedAndFull(r *request, t float64) bool {
-	return r.pausedView && r.bufferAt(t, e.cfg.ViewRate) >= r.bufCap-dataEps
+func (e *Engine) pausedFullAt(s *server, i int, t float64) bool {
+	r := s.active[i]
+	return r.pausedView && s.bufferOf(i, t, e.cfg.ViewRate) >= r.bufCap-dataEps
 }

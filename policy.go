@@ -400,19 +400,24 @@ func (p Policy) Validate() error {
 		p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
 		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
 	}
-	if intermittent && p.StagingFrac == 0 && len(p.ClientMix) == 0 {
-		return fmt.Errorf("semicont: intermittent scheduling needs client staging buffers")
-	}
-	total := 0.0
+	total, staged := 0.0, p.StagingFrac > 0
 	for i, c := range p.ClientMix {
 		if !finite(c.Weight) || !finite(c.StagingFrac) || !finite(c.ReceiveCap) ||
 			c.Weight < 0 || c.StagingFrac < 0 || c.ReceiveCap < 0 {
 			return fmt.Errorf("semicont: client class %d has negative fields: %+v", i, c)
 		}
 		total += c.Weight
+		if c.StagingFrac > 0 {
+			// Mirrors the construction path: any class buffer enables
+			// workahead, even on a zero-weight class.
+			staged = true
+		}
 	}
 	if len(p.ClientMix) > 0 && total <= 0 {
 		return fmt.Errorf("semicont: ClientMix has no positive weight")
+	}
+	if intermittent && !staged {
+		return fmt.Errorf("semicont: intermittent scheduling needs client staging buffers")
 	}
 	return nil
 }
