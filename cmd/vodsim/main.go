@@ -30,6 +30,7 @@ import (
 	"semicont/internal/report"
 	"semicont/internal/sweep"
 	"semicont/internal/trace"
+	"semicont/internal/workload"
 )
 
 func main() {
@@ -68,7 +69,13 @@ func main() {
 		mtbf      = flag.Float64("mtbf", 0, "per-server mean time between failures, hours (0 = no stochastic faults)")
 		mttr      = flag.Float64("mttr", 0, "per-server mean time to recovery, hours (required with -mtbf)")
 		coldRec   = flag.Bool("cold-recovery", false, "stochastic recoveries wipe the server's storage (rebuilt via -replicate)")
-		faultTr   = flag.String("fault-trace", "", "JSON fault-trace file of scripted fail/recover events (see internal/faults)")
+		faultTr   = flag.String("fault-trace", "", "JSON fault-trace file of scripted fail/recover/brownout events (see internal/faults)")
+		brownoutF = flag.String("brownout", "", `stochastic brownouts "mtbf:mttr:frac" (hours, hours, fraction of capacity kept); with -fault-domains whole domains brown out instead of failing`)
+		domainsF  = flag.String("fault-domains", "", `correlated failure domains as ';'-separated server lists, e.g. "0,1;2,3"; -mtbf/-mttr (or -brownout) then drive whole-domain churn`)
+		flashF    = flag.String("flash-crowd", "", `flash crowd "at:dur:factor[:video]" (hours, hours, rate multiplier, catalog id): the video jumps to rank 1 while aggregate load multiplies`)
+		diurnalF  = flag.String("diurnal", "", `diurnal arrival curve "amp[:period-hours]" (relative amplitude in [0,1); period defaults to 24h)`)
+		classesF  = flag.String("classes", "", `traffic classes "name=share,name=share" (first class is premium: highest priority, never shed)`)
+		shedWM    = flag.Float64("shed-watermark", 0, "load-shedding utilization watermark in (0,1] (0 = off; requires -classes)")
 		retryQ    = flag.Bool("retry-queue", false, "queue rejected arrivals for bounded retry instead of dropping them")
 		retryPat  = flag.Float64("retry-patience", 0, "seconds a queued client waits before reneging (0 = 300s default)")
 		retryBack = flag.Float64("retry-backoff", 0, "seconds between admission retries (0 = 10s default)")
@@ -227,14 +234,64 @@ func main() {
 	pol.RetryPatienceSec = *retryPat
 	pol.RetryBackoffSec = *retryBack
 	pol.DegradedPlayback = pol.DegradedPlayback || *degraded
+	if *classesF != "" {
+		classes, err := parseClasses(*classesF)
+		if err != nil {
+			fatal(err)
+		}
+		pol.Classes = classes
+	}
+	pol.ShedWatermark = *shedWM
 
 	fcfg := faults.Config{MTBFHours: *mtbf, MTTRHours: *mttr, Cold: *coldRec}
+	if *brownoutF != "" {
+		var err error
+		fcfg.BrownoutMTBFHours, fcfg.BrownoutMTTRHours, fcfg.BrownoutFraction, err = parseBrownout(*brownoutF)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *domainsF != "" {
+		ds, err := parseDomains(*domainsF)
+		if err != nil {
+			fatal(err)
+		}
+		fcfg.Domains = ds
+		// Domain churn takes over the per-server rate flags; a -brownout
+		// spec makes the domain events brownouts instead of failures.
+		fcfg.DomainMTBFHours, fcfg.MTBFHours = fcfg.MTBFHours, 0
+		fcfg.DomainMTTRHours, fcfg.MTTRHours = fcfg.MTTRHours, 0
+		if *brownoutF != "" {
+			fcfg.DomainBrownout = true
+			fcfg.DomainFraction = fcfg.BrownoutFraction
+			if fcfg.DomainMTBFHours == 0 {
+				fcfg.DomainMTBFHours, fcfg.DomainMTTRHours = fcfg.BrownoutMTBFHours, fcfg.BrownoutMTTRHours
+			}
+			fcfg.BrownoutMTBFHours, fcfg.BrownoutMTTRHours, fcfg.BrownoutFraction = 0, 0, 0
+		}
+	}
 	if *faultTr != "" {
 		data, err := os.ReadFile(*faultTr)
 		if err != nil {
 			fatal(err)
 		}
 		if fcfg.Trace, err = faults.ParseTrace(data); err != nil {
+			fatal(err)
+		}
+	}
+
+	var curve workload.Curve
+	if *diurnalF != "" {
+		var err error
+		curve.DiurnalAmp, curve.DiurnalPeriod, err = parseDiurnal(*diurnalF)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *flashF != "" {
+		var err error
+		curve.FlashAt, curve.FlashDuration, curve.FlashFactor, curve.FlashVideo, err = parseFlash(*flashF)
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -249,6 +306,7 @@ func main() {
 		FailServer:      *failSrv,
 		FailAtHours:     *failAt,
 		Faults:          fcfg,
+		Curve:           curve,
 		CheckInvariants: *check,
 		Audit:           *auditOn,
 		AuditSample:     *auditSamp,
@@ -362,6 +420,74 @@ func parseSystem(s string) (semicont.System, error) {
 	return semicont.System{}, fmt.Errorf(`unknown system %q (want "small", "large", "scale:<n>", or "svbr:<k>")`, s)
 }
 
+// parseBrownout decodes "-brownout mtbf:mttr:frac" (hours, hours,
+// fraction of capacity kept during the brownout).
+func parseBrownout(s string) (mtbf, mttr, frac float64, err error) {
+	if _, err := fmt.Sscanf(s, "%g:%g:%g", &mtbf, &mttr, &frac); err != nil {
+		return 0, 0, 0, fmt.Errorf(`bad -brownout %q (want "mtbf:mttr:frac")`, s)
+	}
+	return mtbf, mttr, frac, nil
+}
+
+// parseDomains decodes "-fault-domains 0,1;2,3" into server-id lists.
+func parseDomains(s string) ([][]int, error) {
+	var domains [][]int
+	for _, part := range strings.Split(s, ";") {
+		var members []int
+		for _, m := range strings.Split(part, ",") {
+			var id int
+			if _, err := fmt.Sscanf(strings.TrimSpace(m), "%d", &id); err != nil {
+				return nil, fmt.Errorf(`bad -fault-domains %q (want ';'-separated server lists like "0,1;2,3")`, s)
+			}
+			members = append(members, id)
+		}
+		domains = append(domains, members)
+	}
+	return domains, nil
+}
+
+// parseDiurnal decodes "-diurnal amp[:period-hours]" into curve fields
+// (period in seconds; 0 keeps the 24 h default).
+func parseDiurnal(s string) (amp, period float64, err error) {
+	var hours float64
+	if _, err := fmt.Sscanf(s, "%g:%g", &amp, &hours); err == nil {
+		return amp, hours * 3600, nil
+	}
+	if _, err := fmt.Sscanf(s, "%g", &amp); err != nil {
+		return 0, 0, fmt.Errorf(`bad -diurnal %q (want "amp" or "amp:period-hours")`, s)
+	}
+	return amp, 0, nil
+}
+
+// parseFlash decodes "-flash-crowd at:dur:factor[:video]" (hours,
+// hours, rate multiplier, catalog id) into curve fields in seconds.
+func parseFlash(s string) (at, dur, factor float64, video int, err error) {
+	if _, err := fmt.Sscanf(s, "%g:%g:%g:%d", &at, &dur, &factor, &video); err != nil {
+		if _, err := fmt.Sscanf(s, "%g:%g:%g", &at, &dur, &factor); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf(`bad -flash-crowd %q (want "at:dur:factor[:video]")`, s)
+		}
+	}
+	return at * 3600, dur * 3600, factor, video, nil
+}
+
+// parseClasses decodes "-classes premium=1,standard=3" into traffic
+// classes in declaration order (the first is the protected tier).
+func parseClasses(s string) ([]semicont.TrafficClass, error) {
+	var classes []semicont.TrafficClass
+	for _, part := range strings.Split(s, ",") {
+		name, share, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf(`bad -classes %q (want "name=share,name=share")`, s)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(share, "%g", &w); err != nil {
+			return nil, fmt.Errorf("bad -classes share %q: %v", share, err)
+		}
+		classes = append(classes, semicont.TrafficClass{Name: name, Share: w})
+	}
+	return classes, nil
+}
+
 func parsePolicy(name string) (semicont.Policy, error) {
 	for _, p := range semicont.PaperPolicies() {
 		if p.Name == name {
@@ -401,6 +527,20 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 	if sc.Faults.Enabled() {
 		fmt.Printf("faults             %d failures, %d recoveries (%d cold): %d rescued, %d dropped\n",
 			r.Failures, r.Recoveries, r.ColdRecoveries, r.RescuedStreams, r.DroppedStreams)
+		if r.Brownouts > 0 {
+			fmt.Printf("brownouts          %d begun, %d restored\n", r.Brownouts, r.BrownoutRestores)
+		}
+	}
+	if len(sc.Policy.Classes) > 0 {
+		if sc.Policy.ShedWatermark > 0 {
+			fmt.Printf("shedding           watermark %.2f, activated %d times\n",
+				sc.Policy.ShedWatermark, r.SheddingActivated)
+		}
+		for i, c := range sc.Policy.Classes {
+			fmt.Printf("class %-12s %d offered, %d accepted, %d rejected (%d shed), %d reneged\n",
+				c.Name, r.ClassArrivals[i], r.ClassAccepted[i], r.ClassRejected[i],
+				r.ClassShed[i], r.ClassReneged[i])
+		}
 	}
 	if sc.Policy.RetryQueue {
 		fmt.Printf("retry queue        %d queued, %d admitted on retry, %d reneged\n",

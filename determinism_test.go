@@ -121,6 +121,65 @@ func TestSelectorsDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestOverloadRunDeterministicAcrossGOMAXPROCS pins the overload layer
+// to the determinism contract: the per-arrival class draw comes from a
+// split stream (ClassSeed), the shed controller reads only engine
+// state, the flash crowd rides the thinned arrival stream, and the
+// brownout schedule compiles before the run — none of which may feel
+// the trial fan-out. Fault-churn trials with two classes, shedding, and
+// a 2× flash crowd must be bit-identical serially and with 8 workers,
+// per-class counters included (Result compares with ==, so the class
+// arrays are covered).
+func TestOverloadRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := quickScenario()
+	sc.HorizonHours = 2
+	sc.LoadFactor = 1.0
+	sc.Policy.Migration, sc.Policy.MaxHops, sc.Policy.MaxChain = true, 2, 1
+	sc.Policy.RetryQueue = true
+	sc.Policy.DegradedPlayback = true
+	sc.Policy.Classes = []TrafficClass{
+		{Name: "premium", Share: 1, RetryPatienceSec: 600},
+		{Name: "standard", Share: 3},
+	}
+	sc.Policy.ShedWatermark = 0.7
+	sc.Faults = faults.Config{
+		MTBFHours: 1, MTTRHours: 0.2,
+		BrownoutMTBFHours: 1, BrownoutMTTRHours: 0.2, BrownoutFraction: 0.5,
+	}
+	sc.Curve.FlashAt = 1800
+	sc.Curve.FlashDuration = 3600
+	sc.Curve.FlashFactor = 2
+	run := func(procs int) *Aggregate {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		agg, err := RunTrials(sc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial := run(1)
+	parallel := run(8)
+	var classed, shed int64
+	for i := range serial.Results {
+		if *serial.Results[i] != *parallel.Results[i] {
+			t.Errorf("overload trial %d diverged across GOMAXPROCS:\nserial   %+v\nparallel %+v",
+				i, serial.Results[i], parallel.Results[i])
+		}
+		for c := range serial.Results[i].ClassArrivals {
+			classed += serial.Results[i].ClassArrivals[c]
+			shed += serial.Results[i].ClassShed[c]
+		}
+	}
+	if classed == 0 {
+		t.Error("no arrivals drew a traffic class — the class seam is not exercised")
+	}
+	if shed == 0 {
+		t.Error("shed controller never fired — the scenario is not exercising overload")
+	}
+}
+
 // TestAuditedRunDeterministic extends the plain Run determinism check to
 // audited runs: the auditor keeps per-run state (replica maps, event
 // counters), and two runs of the same audited scenario must still agree

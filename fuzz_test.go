@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"semicont/internal/faults"
+	"semicont/internal/workload"
 )
 
 // FuzzScenarioValidate fuzzes the public configuration surface against
@@ -18,26 +19,31 @@ func FuzzScenarioValidate(f *testing.F) {
 	f.Add(5, 100.0, 50, 600.0, 1800.0, 2.2, 3.0,
 		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.0, 0.0, 0, uint64(1),
 		0.0, 0.0, false, false, false, "", "",
-		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(2, 30.0, 25, 300.0, 900.0, 2.0, 3.0,
 		0.0, 0, false, 0, 0, true, false, 0.0, 0.2, 30.0, 120.0, -1.0, 1.2, 0.5, 1, uint64(7),
 		0.02, 0.01, true, true, true, "least-loaded", "",
-		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(3, 45.0, 25, 300.0, 900.0, 2.0, 3.0,
 		0.2, 2, true, -1, 2, false, true, 0.0, 0.0, 30.0, 120.0, 1.0, 1.0, 0.0, 0, uint64(9),
 		0.05, 0.02, false, true, false, "most-headroom", "direct-only",
-		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	f.Add(4, 60.0, 30, 300.0, 900.0, 2.0, 3.0,
 		0.2, 0, false, 0, 0, false, false, 300.0, 0.0, 30.0, 120.0, -1.5, 1.0, 0.0, 0, uint64(3),
 		-1.0, 0.5, false, false, true, "nonsense", "nonsense",
-		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	// DRM + server churn + retry queue + a non-default controller pair in
 	// one seed: the selector seam is crossed by arrivals, retry
 	// re-attempts, and rescue reconnects all at once.
 	f.Add(4, 60.0, 20, 300.0, 900.0, 2.5, 3.0,
 		0.2, 0, true, 2, 2, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.2, 0.0, 0, uint64(11),
 		0.5, 0.1, true, true, true, "random-feasible", "chain-dfs",
-		0, 0.0, 0.0, 0.0, 0.0, 0.0)
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	// Interactivity under intermittent scheduling with a heterogeneous
 	// client mix: pause/resume churns the wake index while the two
 	// classes diverge on bufCap (StagingFrac) and recvCap (ReceiveCap),
@@ -45,7 +51,8 @@ func FuzzScenarioValidate(f *testing.F) {
 	f.Add(4, 60.0, 25, 300.0, 900.0, 2.0, 3.0,
 		0.2, 0, true, 1, 1, false, true, 0.0, 0.3, 10.0, 60.0, 0.271, 1.0, 0.0, 0, uint64(13),
 		0.0, 0.0, false, false, false, "", "",
-		2, 2.0, 0.3, 0.05, 6.0, 4.0)
+		2, 2.0, 0.3, 0.05, 6.0, 4.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	// Every viewer pauses, with short pauses (rapid resume churn) and a
 	// single class whose receive cap sits barely above the view rate:
 	// spare feeds saturate immediately, so the spare path's wake-key
@@ -53,7 +60,8 @@ func FuzzScenarioValidate(f *testing.F) {
 	f.Add(3, 45.0, 20, 300.0, 900.0, 2.0, 3.0,
 		0.0, 1, false, 1, 1, false, false, 0.0, 1.0, 1.0, 5.0, 0.0, 1.0, 0.0, 0, uint64(17),
 		0.0, 0.0, false, false, false, "", "",
-		1, 0.0, 0.5, 0.0, 3.5, 0.0)
+		1, 0.0, 0.5, 0.0, 3.5, 0.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
 	// Degenerate mix weights: class B has weight zero (never drawn but
 	// still validated), pause range collapsed to a point, even-split
 	// spare. Exercises the ClientMix validation edge and the fixed-length
@@ -61,7 +69,24 @@ func FuzzScenarioValidate(f *testing.F) {
 	f.Add(3, 45.0, 20, 300.0, 900.0, 2.0, 3.0,
 		0.1, 2, false, 1, 1, false, true, 0.0, 0.5, 45.0, 45.0, 0.0, 1.0, 0.0, 0, uint64(19),
 		0.0, 0.0, false, false, false, "", "",
-		2, 0.0, 0.4, 0.2, 0.0, 8.0)
+		2, 0.0, 0.4, 0.2, 0.0, 8.0,
+		0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	// Brownout churn under two traffic classes with shedding armed: the
+	// shed controller, the class selector seam, and dimmed capacity all
+	// interact on one audited run.
+	f.Add(4, 60.0, 20, 300.0, 900.0, 2.0, 3.0,
+		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.0, 0.0, 0, uint64(23),
+		0.0, 0.0, false, true, true, "", "",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.3, 0.1, 0.5, 2, 3.0, 600.0, 0.75, 0.0, 0.0)
+	// Flash crowd stacked on a diurnal curve with classes but no
+	// shedding: the thinned arrival path feeds the class draw while the
+	// surge concentrates on video zero.
+	f.Add(4, 60.0, 20, 300.0, 900.0, 2.0, 3.0,
+		0.2, 0, true, 1, 1, false, false, 0.0, 0.0, 30.0, 120.0, 0.271, 1.0, 0.0, 0, uint64(29),
+		0.0, 0.0, false, true, true, "", "",
+		0, 0.0, 0.0, 0.0, 0.0, 0.0,
+		0.0, 0.0, 0.0, 2, 1.0, 0.0, 0.0, 0.5, 3.0)
 	f.Fuzz(func(t *testing.T,
 		numServers int, bw float64, numVideos int, minLen, maxLen, avgCopies, viewRate float64,
 		stagingFrac float64, spare int, migration bool, maxHops, maxChain int,
@@ -70,7 +95,9 @@ func FuzzScenarioValidate(f *testing.F) {
 		theta, load, failAt float64, failServer int, seed uint64,
 		mtbf, mttr float64, cold, retryQueue, degraded bool,
 		selector, planner string,
-		classes int, classWeightB, classStagingA, classStagingB, classRecvA, classRecvB float64) {
+		classes int, classWeightB, classStagingA, classStagingB, classRecvA, classRecvB float64,
+		bmtbf, bmttr, bfrac float64, tclasses int, tShareB, tPatience, shedWM float64,
+		diurnalAmp, flashFactor float64) {
 		sc := Scenario{
 			System: System{
 				Name:            "fuzz",
@@ -84,13 +111,13 @@ func FuzzScenarioValidate(f *testing.F) {
 				ViewRate:        viewRate,
 			},
 			Policy: Policy{
-				Name:           "fuzz",
-				StagingFrac:    stagingFrac,
-				Spare:          SpareKind(spare),
-				Migration:      migration,
-				MaxHops:        maxHops,
-				MaxChain:       maxChain,
-				Replicate:      replicate,
+				Name:             "fuzz",
+				StagingFrac:      stagingFrac,
+				Spare:            SpareKind(spare),
+				Migration:        migration,
+				MaxHops:          maxHops,
+				MaxChain:         maxChain,
+				Replicate:        replicate,
 				Intermittent:     intermittent,
 				PatchWindowSec:   patchWindow,
 				PauseProb:        pauseProb,
@@ -100,6 +127,7 @@ func FuzzScenarioValidate(f *testing.F) {
 				DegradedPlayback: degraded,
 				Selector:         selector,
 				Planner:          planner,
+				ShedWatermark:    shedWM,
 			},
 			Theta:        theta,
 			HorizonHours: 1,
@@ -107,7 +135,10 @@ func FuzzScenarioValidate(f *testing.F) {
 			Seed:         seed,
 			FailServer:   failServer,
 			FailAtHours:  failAt,
-			Faults:       faults.Config{MTBFHours: mtbf, MTTRHours: mttr, Cold: cold},
+			Faults: faults.Config{
+				MTBFHours: mtbf, MTTRHours: mttr, Cold: cold,
+				BrownoutMTBFHours: bmtbf, BrownoutMTTRHours: bmttr, BrownoutFraction: bfrac,
+			},
 		}
 		// classes selects the heterogeneous-population shape: 0 leaves
 		// ClientMix nil (homogeneous StagingFrac path), 1 is a single
@@ -125,6 +156,30 @@ func FuzzScenarioValidate(f *testing.F) {
 				{Weight: classWeightB, StagingFrac: classStagingB, ReceiveCap: classRecvB},
 			}
 		}
+		// tclasses shapes the traffic-class tiers the same way; one class
+		// with shedWM > 0 is a deliberate negative case (Validate requires
+		// at least two tiers to differentiate).
+		switch {
+		case tclasses <= 0:
+		case tclasses == 1:
+			sc.Policy.Classes = []TrafficClass{
+				{Name: "premium", Share: 1, RetryPatienceSec: tPatience},
+			}
+		default:
+			sc.Policy.Classes = []TrafficClass{
+				{Name: "premium", Share: 1, RetryPatienceSec: tPatience},
+				{Name: "standard", Share: tShareB},
+			}
+		}
+		// The curve params flow through unclamped too; a flash window is
+		// synthesized inside the shortened run envelope so accepted curves
+		// actually modulate the run.
+		sc.Curve = workload.Curve{DiurnalAmp: diurnalAmp}
+		if flashFactor != 0 {
+			sc.Curve.FlashAt = 30
+			sc.Curve.FlashDuration = 60
+			sc.Curve.FlashFactor = flashFactor
+		}
 		if sc.Faults.Enabled() {
 			// The stochastic process and the legacy single-failure knob are
 			// mutually exclusive by contract; exercise the fault path.
@@ -138,12 +193,13 @@ func FuzzScenarioValidate(f *testing.F) {
 			viewRate < 1 || minLen < 60 || maxLen > 1800 ||
 			theta < -2 || theta > 2 || load > 1.5 ||
 			stagingFrac > 1 || patchWindow > 1800 ||
-			maxPause > 3600 || classStagingA > 1 || classStagingB > 1 {
+			maxPause > 3600 || classStagingA > 1 || classStagingB > 1 ||
+			flashFactor > 20 || tShareB > 1e6 {
 			return
 		}
 		// A sub-minute MTBF would compile thousands of fault events even
 		// for the shortened horizon; keep churn but bound the schedule.
-		if mtbf > 0 && mtbf < 0.01 {
+		if mtbf > 0 && mtbf < 0.01 || bmtbf > 0 && bmtbf < 0.01 {
 			return
 		}
 		// Placement feasibility depends on the randomized catalog, which

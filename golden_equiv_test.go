@@ -128,6 +128,51 @@ func goldenMatrix() []struct {
 	coldTrace.Audit = true
 	add("fault-cold-trace", coldTrace)
 
+	// Stochastic brownout churn interleaved with failures: the
+	// three-state fault machine (up/down/dimmed), slot rescaling, and
+	// the rescue → park → drop ladder over dimmed capacity, audited so
+	// the effective-capacity rule rides the fixture.
+	brown := base(drm(Policy{
+		Name: "brownout-churn", StagingFrac: 0.2,
+		RetryQueue: true, RetryPatienceSec: 120, RetryBackoffSec: 15,
+		DegradedPlayback: true, DegradedRetrySec: 5,
+	}, UnlimitedHops, 1))
+	brown.Faults = faults.Config{
+		MTBFHours: 2, MTTRHours: 0.2,
+		BrownoutMTBFHours: 1, BrownoutMTTRHours: 0.3, BrownoutFraction: 0.5,
+	}
+	brown.Audit = true
+	add("brownout-churn", brown)
+
+	// Class-based load shedding through a flash crowd: two tiers, the
+	// shed watermark, and the thinned arrival stream, audited so the
+	// overload-shedding rule and per-class accounting ride the fixture.
+	shed := base(drm(Policy{
+		Name: "overload-shed", StagingFrac: 0.2,
+		RetryQueue: true, RetryPatienceSec: 120, RetryBackoffSec: 15,
+		Classes: []TrafficClass{
+			{Name: "premium", Share: 1, RetryPatienceSec: 600},
+			{Name: "standard", Share: 3},
+		},
+		ShedWatermark: 0.7,
+	}, 1, 1))
+	shed.Curve.FlashAt = 1800
+	shed.Curve.FlashDuration = 3600
+	shed.Curve.FlashFactor = 3
+	shed.Audit = true
+	add("overload-shed", shed)
+
+	// Diurnal modulation stacked on a flash window with no classes: the
+	// non-stationary generator alone, pinning the thinning RNG stream.
+	flash := base(Policy{Name: "flash-diurnal", StagingFrac: 0.2})
+	flash.Curve.DiurnalAmp = 0.5
+	flash.Curve.DiurnalPeriod = 3600
+	flash.Curve.FlashAt = 900
+	flash.Curve.FlashDuration = 1800
+	flash.Curve.FlashFactor = 2
+	flash.Curve.FlashVideo = 3
+	add("flash-diurnal", flash)
+
 	// Audited runs pin the instrumented allocation path (full feed-order
 	// reporting) to the same results as the bare one.
 	audited := base(PolicyP4())

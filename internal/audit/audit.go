@@ -22,6 +22,15 @@
 //     stream active at a failure is rescued, dropped, or parked, and a
 //     cold recovery resets the auditor's replica and storage model so
 //     later placement checks see the wiped state;
+//   - partial failures: brownouts and restores alternate per server and
+//     never overlap a failure, and a browned-out server's effective
+//     bandwidth and slot count equal, bit for bit, the configured
+//     capacity scaled by the audited fraction — the auditor keeps its
+//     own per-server fraction mirror driven only by the brownout taps;
+//   - overload shedding: shed rejections occur only with the controller
+//     enabled, only against sheddable (non-premium) classes, and only
+//     at utilizations at or above the configured watermark; per-class
+//     arrival accounting balances at the end of the run;
 //   - accounting: arrivals = accepted + rejected + reneged, accepted
 //     streams all finish or are dropped, retry-queue and degraded-mode
 //     episodes balance, and delivered volume never exceeds accepted
@@ -63,7 +72,7 @@ type Violation struct {
 	// "intermittent-order", "intermittent-feed", "admission-feasible",
 	// "hops", "chain", "migration-target", "replica", "replica-dup",
 	// "storage", "fault-state", "failure-accounting", "accounting",
-	// "wake-exact".
+	// "overload-shedding", "wake-exact".
 	Rule string
 
 	Time    float64 // simulation time of the violating event
@@ -104,6 +113,19 @@ type Auditor struct {
 	lastEventSeq uint64
 	failures     int64
 	recoveries   int64
+
+	// Partial-failure model. frac mirrors each server's effective
+	// capacity fraction (1 = full), driven only by the always-on
+	// Brownout/BrownoutEnd taps; the per-event snapshot check derives
+	// the expected bandwidth and slot count from it with the engine's
+	// own float expressions, so the comparison is exact.
+	frac      []float64
+	brownouts int64
+	restores  int64
+
+	// Overload-shedding model: shed-tap count, reconciled against the
+	// engine's per-class metrics at End.
+	shedCount int64
 
 	// Current event context, established by BeginEvent, attributed to
 	// violations raised by in-event taps.
@@ -170,6 +192,10 @@ func (a *Auditor) Begin(b core.AuditBegin) error {
 	}
 	a.storageUsed = append([]float64(nil), b.StaticStorage...)
 	a.down = make([]bool, len(b.StaticStorage))
+	a.frac = make([]float64, len(b.StaticStorage))
+	for i := range a.frac {
+		a.frac[i] = 1
+	}
 	a.effMaxHops = core.UnlimitedHops
 	a.effMaxChain = 1
 	if m := b.Config.Migration; m.Enabled {
@@ -230,6 +256,22 @@ func (a *Auditor) Event(rec core.AuditEventRecord) error {
 		if !a.cfg.Intermittent && len(s.Requests) > s.Slots {
 			return a.fail("slots", sid, 0,
 				"%d streams on a server with %d minimum-flow slots", len(s.Requests), s.Slots)
+		}
+		// Effective capacity: the snapshot's bandwidth and slot count
+		// must equal the configured capacity scaled by the audited
+		// brownout fraction — computed with the engine's own float
+		// expressions, so == is exact, not rounded.
+		if sid < len(a.frac) && sid < len(a.cfg.ServerBandwidth) {
+			wantBW := a.cfg.ServerBandwidth[sid] * a.frac[sid]
+			if s.Bandwidth != wantBW {
+				return a.fail("fault-state", sid, 0,
+					"effective bandwidth %g != %g (configured %g × audited fraction %g)",
+					s.Bandwidth, wantBW, a.cfg.ServerBandwidth[sid], a.frac[sid])
+			}
+			if want := int(wantBW/a.cfg.ViewRate + timeEps); s.Slots != want {
+				return a.fail("fault-state", sid, 0,
+					"%d slots != %d derived from effective bandwidth %g", s.Slots, want, wantBW)
+			}
 		}
 		total := 0.0
 		for ri := range s.Requests {
@@ -423,6 +465,10 @@ func (a *Auditor) Failure(t float64, server int32, rescued, dropped, parked int)
 	if sid < len(a.down) && a.down[sid] {
 		return a.fail("fault-state", sid, 0, "failure of a server already failed")
 	}
+	if sid < len(a.frac) && a.frac[sid] != 1 {
+		return a.fail("fault-state", sid, 0,
+			"failure of a server browned out to %g (its restore must come first)", a.frac[sid])
+	}
 	if sid < len(a.down) {
 		a.down[sid] = true
 	}
@@ -465,6 +511,74 @@ func (a *Auditor) Recovery(t float64, server int32, cold bool) error {
 		if sid < len(a.storageUsed) {
 			a.storageUsed[sid] = 0
 		}
+	}
+	return nil
+}
+
+// Brownout implements core.AuditTap: brownouts strike only servers
+// that are up and at full capacity, with a fraction in (0, 1]. The
+// audited fraction becomes the auditor's mirror that the per-event
+// effective-capacity check derives expectations from.
+func (a *Auditor) Brownout(t float64, server int32, frac float64, rescued, dropped, parked int) error {
+	a.brownouts++
+	sid := int(server)
+	if sid < len(a.down) && a.down[sid] {
+		return a.fail("fault-state", sid, 0, "brownout of a failed server")
+	}
+	if sid < len(a.frac) && a.frac[sid] != 1 {
+		return a.fail("fault-state", sid, 0,
+			"brownout of a server already dimmed to %g", a.frac[sid])
+	}
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return a.fail("fault-state", sid, 0, "brownout fraction %g outside (0, 1]", frac)
+	}
+	if rescued < 0 || dropped < 0 || parked < 0 {
+		return a.fail("failure-accounting", sid, 0,
+			"negative brownout disposition: %d rescued, %d dropped, %d parked",
+			rescued, dropped, parked)
+	}
+	if sid < len(a.frac) {
+		a.frac[sid] = frac
+	}
+	return nil
+}
+
+// BrownoutEnd implements core.AuditTap: restores must follow brownouts
+// per server, and reset the auditor's fraction mirror to full capacity.
+func (a *Auditor) BrownoutEnd(t float64, server int32) error {
+	a.restores++
+	sid := int(server)
+	if sid < len(a.down) && a.down[sid] {
+		return a.fail("fault-state", sid, 0, "restore of a failed server")
+	}
+	if sid >= len(a.frac) || a.frac[sid] == 1 {
+		return a.fail("fault-state", sid, 0, "restore of a server that was not browned out")
+	}
+	a.frac[sid] = 1
+	return nil
+}
+
+// Shed implements core.AuditTap: the overload-shedding rule. A shed
+// rejection is legal only with the controller enabled, against a
+// sheddable class (never 0, the protected premium tier), and at an
+// instantaneous utilization at or above the configured watermark.
+func (a *Auditor) Shed(t float64, video int32, class int32, util, watermark float64) error {
+	a.shedCount++
+	if !a.cfg.Shed.Enabled {
+		return a.fail("overload-shedding", -1, 0,
+			"arrival shed with the shed controller disabled")
+	}
+	if class <= 0 || int(class) >= len(a.cfg.Classes) {
+		return a.fail("overload-shedding", -1, 0,
+			"shed class %d outside the sheddable range [1, %d)", class, len(a.cfg.Classes))
+	}
+	if watermark != a.cfg.Shed.Watermark {
+		return a.fail("overload-shedding", -1, 0,
+			"shed against watermark %g, configured %g", watermark, a.cfg.Shed.Watermark)
+	}
+	if math.IsNaN(util) || util < watermark {
+		return a.fail("overload-shedding", -1, 0,
+			"arrival shed at utilization %g below watermark %g", util, watermark)
 	}
 	return nil
 }
@@ -541,6 +655,53 @@ func (a *Auditor) End(t float64, m core.Metrics) error {
 		return a.fail("fault-state", -1, 0,
 			"%d failures − %d recoveries != %d servers down at end",
 			m.Failures, m.Recoveries, downNow)
+	}
+	if a.brownouts != m.Brownouts || a.restores != m.BrownoutRestores {
+		return a.fail("fault-state", -1, 0,
+			"audited %d brownouts / %d restores, metrics report %d / %d",
+			a.brownouts, a.restores, m.Brownouts, m.BrownoutRestores)
+	}
+	dimmedNow := int64(0)
+	for _, f := range a.frac {
+		if f != 1 {
+			dimmedNow++
+		}
+	}
+	if m.Brownouts-m.BrownoutRestores != dimmedNow {
+		return a.fail("fault-state", -1, 0,
+			"%d brownouts − %d restores != %d servers dimmed at end",
+			m.Brownouts, m.BrownoutRestores, dimmedNow)
+	}
+	if len(a.cfg.Classes) > 0 {
+		var classArrivals, classShed int64
+		for c := range a.cfg.Classes {
+			classArrivals += m.ClassArrivals[c]
+			classShed += m.ClassShed[c]
+			if m.ClassArrivals[c] != m.ClassAccepted[c]+m.ClassRejected[c]+m.ClassReneged[c] {
+				return a.fail("accounting", -1, 0,
+					"class %d: %d arrivals != %d accepted + %d rejected + %d reneged",
+					c, m.ClassArrivals[c], m.ClassAccepted[c], m.ClassRejected[c], m.ClassReneged[c])
+			}
+			if m.ClassShed[c] > m.ClassRejected[c] {
+				return a.fail("overload-shedding", -1, 0,
+					"class %d: %d shed exceeds %d rejected", c, m.ClassShed[c], m.ClassRejected[c])
+			}
+		}
+		if classArrivals != m.Arrivals {
+			return a.fail("accounting", -1, 0,
+				"per-class arrivals sum to %d, metrics report %d", classArrivals, m.Arrivals)
+		}
+		if classShed != a.shedCount {
+			return a.fail("overload-shedding", -1, 0,
+				"per-class shed counts sum to %d, audited %d shed taps", classShed, a.shedCount)
+		}
+		if a.shedCount > 0 && m.SheddingActivated == 0 {
+			return a.fail("overload-shedding", -1, 0,
+				"%d arrivals shed but the controller never reported activating", a.shedCount)
+		}
+	} else if a.shedCount > 0 {
+		return a.fail("overload-shedding", -1, 0,
+			"%d arrivals shed on a classless run", a.shedCount)
 	}
 	if m.DeliveredBytes > m.AcceptedBytes*(1+1e-9)+dataEps {
 		return a.fail("accounting", -1, 0,

@@ -24,6 +24,8 @@ const (
 	AuditRecovery
 	AuditRetry
 	AuditPark
+	AuditBrownout
+	AuditBrownoutEnd
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +47,10 @@ func (k AuditEventKind) String() string {
 		return "retry"
 	case AuditPark:
 		return "park"
+	case AuditBrownout:
+		return "brownout"
+	case AuditBrownoutEnd:
+		return "brownout-end"
 	default:
 		return "unknown"
 	}
@@ -179,6 +185,18 @@ type AuditTap interface {
 	// Recovery reports a failed server rejoining the cluster; cold
 	// means its storage was wiped.
 	Recovery(t float64, server int32, cold bool) error
+	// Brownout reports a server dimmed to the fraction frac of its
+	// configured bandwidth, with the disposition of any minimum-flow
+	// excess (zero under the intermittent scheduler, which sheds
+	// nothing).
+	Brownout(t float64, server int32, frac float64, rescued, dropped, parked int) error
+	// BrownoutEnd reports a browned-out server restored to full
+	// capacity.
+	BrownoutEnd(t float64, server int32) error
+	// Shed reports one arrival rejected up front by the overload shed
+	// controller: its video, its traffic class (never 0, the protected
+	// class), and the utilization/watermark pair that triggered it.
+	Shed(t float64, video int32, class int32, util, watermark float64) error
 	// Chain reports the length of an executed DRM admission chain.
 	Chain(t float64, length int) error
 	// Replication reports a completed replica install.
@@ -273,6 +291,10 @@ func auditKind(ev event) (kind AuditEventKind, server int32, req int64) {
 		return AuditRetry, -1, 0
 	case evParkTick:
 		return AuditPark, -1, ev.req
+	case evBrownout:
+		return AuditBrownout, ev.server, 0
+	case evBrownoutEnd:
+		return AuditBrownoutEnd, ev.server, 0
 	default:
 		return AuditWake, -1, 0
 	}

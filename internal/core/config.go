@@ -119,6 +119,66 @@ type ClientClass struct {
 	ReceiveCap float64
 }
 
+// MaxTrafficClasses bounds the number of traffic classes one run may
+// configure. Per-class metrics are fixed-size arrays of this length so
+// Metrics (and the Result types built from it) stay comparable.
+const MaxTrafficClasses = 4
+
+// TrafficClass describes one priority tier of the arriving traffic
+// (premium, standard, …). Unlike ClientClass — which varies client
+// *capabilities* — a traffic class varies the *policy* applied to the
+// request: its admission selector, its retry patience, and whether the
+// shed controller may reject it under overload. Classes are ordered by
+// priority: index 0 is the highest and is never shed.
+type TrafficClass struct {
+	// Name labels the class in reports ("premium"). Informational.
+	Name string
+
+	// Share is the class's relative arrival frequency (need not sum
+	// to 1 across classes). Must be positive.
+	Share float64
+
+	// Selector optionally names this class's admission selector from
+	// the controller registry. Empty inherits Config.Selector.
+	Selector string
+
+	// RetryPatience optionally overrides Retry.Patience for this
+	// class's queued requests, in seconds. Zero inherits the global
+	// patience; premium tiers typically wait longer.
+	RetryPatience float64
+}
+
+// ShedConfig controls graceful load shedding: above a utilization
+// watermark the controller rejects low-class arrivals up front —
+// before admission, the retry queue, or replication — so the capacity
+// that remains serves the high classes. The controller is a two-state
+// machine (normal/shedding) re-evaluated at every arrival; entering the
+// shedding state increments Metrics.SheddingActivated.
+type ShedConfig struct {
+	// Enabled turns the shed controller on. Requires at least two
+	// traffic classes — with fewer there is no low class to shed.
+	Enabled bool
+
+	// Watermark is the instantaneous utilization (committed minimum-flow
+	// bandwidth over live effective capacity) at or above which shedding
+	// engages. Must be in (0,1].
+	Watermark float64
+}
+
+// Validate reports configuration errors.
+func (s ShedConfig) Validate() error {
+	if !s.Enabled {
+		if s.Watermark != 0 {
+			return fmt.Errorf("core: shed Watermark %g set while shedding is disabled", s.Watermark)
+		}
+		return nil
+	}
+	if math.IsNaN(s.Watermark) || s.Watermark <= 0 || s.Watermark > 1 {
+		return fmt.Errorf("core: shed Watermark %g must be in (0,1]", s.Watermark)
+	}
+	return nil
+}
+
 // Config describes one cluster simulation.
 type Config struct {
 	// ServerBandwidth lists each data server's transmission capacity in
@@ -182,6 +242,21 @@ type Config struct {
 	// ClientSeed seeds the class draw; runs with equal seeds draw the
 	// same class sequence.
 	ClientSeed uint64
+
+	// Classes, when non-empty, partitions arrivals into priority tiers:
+	// each arrival draws a traffic class (seeded by ClassSeed, its own
+	// split stream) that picks its admission selector and retry
+	// patience, and feeds the per-class accounting the shed controller
+	// acts on. Index 0 is the highest priority. At most
+	// MaxTrafficClasses entries.
+	Classes []TrafficClass
+
+	// ClassSeed seeds the traffic-class draw; runs with equal seeds
+	// draw the same class sequence.
+	ClassSeed uint64
+
+	// Shed configures graceful load shedding over the traffic classes.
+	Shed ShedConfig
 
 	// Migration configures DRM.
 	Migration MigrationConfig
@@ -376,6 +451,31 @@ func (c Config) Validate() error {
 	}
 	if len(c.ClientClasses) > 0 && totalWeight <= 0 {
 		return fmt.Errorf("core: client classes have no positive weight")
+	}
+	if len(c.Classes) > MaxTrafficClasses {
+		return fmt.Errorf("core: %d traffic classes, at most %d supported", len(c.Classes), MaxTrafficClasses)
+	}
+	shareTotal := 0.0
+	for i, tc := range c.Classes {
+		if math.IsNaN(tc.Share) || math.IsInf(tc.Share, 0) || tc.Share <= 0 {
+			return fmt.Errorf("core: traffic class %d share %g must be positive and finite", i, tc.Share)
+		}
+		if tc.Selector != "" && !HasSelector(tc.Selector) {
+			return fmt.Errorf("core: traffic class %d selector %q unknown (have %v)", i, tc.Selector, SelectorNames())
+		}
+		if math.IsNaN(tc.RetryPatience) || math.IsInf(tc.RetryPatience, 0) || tc.RetryPatience < 0 {
+			return fmt.Errorf("core: traffic class %d retry patience %g must be finite and non-negative", i, tc.RetryPatience)
+		}
+		shareTotal += tc.Share
+	}
+	if len(c.Classes) > 0 && (math.IsInf(shareTotal, 0) || shareTotal <= 0) {
+		return fmt.Errorf("core: traffic class shares sum to %g", shareTotal)
+	}
+	if err := c.Shed.Validate(); err != nil {
+		return err
+	}
+	if c.Shed.Enabled && len(c.Classes) < 2 {
+		return fmt.Errorf("core: load shedding requires at least two traffic classes, have %d", len(c.Classes))
 	}
 	if c.ResumeGuard < 0 {
 		return fmt.Errorf("core: negative ResumeGuard %g", c.ResumeGuard)

@@ -225,10 +225,12 @@ func (e *Engine) planner() MigrationPlanner {
 
 // findAdmission locates a server for a new stream of video v: the
 // selector's pick among feasible replica holders, else a server freed
-// via dynamic request migration when configured. The bool reports a DRM
-// admission. Arrivals and retry-queue attempts share it.
-func (e *Engine) findAdmission(v int, t float64) (*server, bool) {
-	best := e.selector().Select(e, v, t)
+// via dynamic request migration when configured. The selector is the
+// request's traffic class's (the engine default for classless runs and
+// classes without an override). The bool reports a DRM admission.
+// Arrivals and retry-queue attempts share it.
+func (e *Engine) findAdmission(v int, t float64, class int32) (*server, bool) {
+	best := e.classSelector(class).Select(e, v, t)
 	viaDRM := false
 	if best == nil && e.cfg.Migration.Enabled {
 		best, viaDRM = e.admitViaMigration(int32(v), t)
@@ -250,20 +252,25 @@ func (e *Engine) findAdmission(v int, t float64) (*server, bool) {
 
 // admit runs the controller's admission decision for video v at time t
 // and, on success, attaches a new stream with the given client
-// capabilities and does the shared success accounting (acceptance
-// counters, observer callback, interaction draw, reschedule).
-// handleArrival and handleRetry wrap it with their own failure paths.
-func (e *Engine) admit(v int, t, bufCap, recvCap float64) bool {
-	best, viaDRM := e.findAdmission(v, t)
+// capabilities and traffic class (-1 for classless runs) and does the
+// shared success accounting (acceptance counters, observer callback,
+// interaction draw, reschedule). handleArrival and handleRetry wrap it
+// with their own failure paths.
+func (e *Engine) admit(v int, t, bufCap, recvCap float64, class int32) bool {
+	best, viaDRM := e.findAdmission(v, t, class)
 	if best == nil {
 		return false
 	}
 	best.syncAll(t)
 	r := e.newRequest(v, t)
 	r.bufCap, r.recvCap = bufCap, recvCap
+	r.class = class
 	best.attach(r)
 	e.metrics.Accepted++
 	e.metrics.AcceptedBytes += r.size
+	if class >= 0 {
+		e.metrics.ClassAccepted[class]++
+	}
 	if e.obs != nil {
 		e.obs.OnAdmit(t, r.id, v, int(best.id), viaDRM)
 	}

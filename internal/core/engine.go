@@ -32,14 +32,17 @@ const (
 	evRecovery
 	evRetry
 	evParkTick
+	evBrownout
+	evBrownoutEnd
 )
 
 type event struct {
 	kind    evKind
 	server  int32
 	version uint64
-	req     int64 // pause/resume/park target request, or retry entry id
-	cold    bool  // recovery only: storage wiped
+	req     int64   // pause/resume/park target request, or retry entry id
+	cold    bool    // recovery only: storage wiped
+	frac    float64 // brownout only: effective-bandwidth fraction
 }
 
 // Engine runs one cluster simulation: it owns the servers, the future
@@ -75,6 +78,14 @@ type Engine struct {
 	// Heterogeneous client population (nil when homogeneous).
 	classAlias *rng.Alias
 	classRNG   *rng.PCG
+
+	// Traffic classes and load shedding (see overload.go): the class
+	// draw stream (nil when classless), lazily resolved per-class
+	// selectors, and the shed controller's two-state flag.
+	trafficAlias *rng.Alias
+	trafficRNG   *rng.PCG
+	classSel     [MaxTrafficClasses]ServerSelector
+	shedding     bool
 
 	// Interactivity: the pause-draw stream and the live-request index
 	// pause/resume events resolve through (nil when disabled).
@@ -204,6 +215,9 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 	// seeds itself from cfg.SelectorSeed on first use).
 	e.alloc, e.sel, e.planr = nil, nil, nil
 	e.classAlias, e.classRNG = nil, nil
+	e.trafficAlias, e.trafficRNG = nil, nil
+	e.classSel = [MaxTrafficClasses]ServerSelector{}
+	e.shedding = false
 	e.interactRNG, e.byID = nil, nil
 	if cfg.Interactivity.PauseProb > 0 {
 		e.interactRNG = rng.New(rng.DeriveSeed(cfg.Interactivity.Seed, 0x706175)) // "pau"
@@ -220,6 +234,18 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 		}
 		e.classAlias = alias
 		e.classRNG = rng.New(rng.DeriveSeed(cfg.ClientSeed, 0xc11e47)) // "client"
+	}
+	if len(cfg.Classes) > 0 {
+		shares := make([]float64, len(cfg.Classes))
+		for i, tc := range cfg.Classes {
+			shares[i] = tc.Share
+		}
+		alias, err := rng.NewAlias(shares)
+		if err != nil {
+			return fmt.Errorf("core: traffic classes: %w", err)
+		}
+		e.trafficAlias = alias
+		e.trafficRNG = rng.New(rng.DeriveSeed(cfg.ClassSeed, 0x636c6173)) // "clas"
 	}
 
 	// Replication, fault-tolerance, and audit state back to the lazy
@@ -292,10 +318,14 @@ func (e *Engine) Metrics() *Metrics { return &e.metrics }
 // faultSched tracks what has been scheduled for one server so the
 // Schedule* methods can reject malformed sequences up front: failures
 // and recoveries must alternate per server (starting from the up
-// state) with non-decreasing times.
+// state) with non-decreasing times, and a brownout may neither overlap
+// a down interval nor nest inside another brownout — the same
+// three-state (up/down/dimmed) machine faults.Config.Validate enforces
+// on scripted traces.
 type faultSched struct {
-	down  bool    // a scheduled failure has no recovery yet
-	lastT float64 // time of the last scheduled event
+	down   bool    // a scheduled failure has no recovery yet
+	dimmed bool    // a scheduled brownout has no restore yet
+	lastT  float64 // time of the last scheduled event
 }
 
 // checkFaultTime validates a fault-event time against a server's
@@ -333,6 +363,9 @@ func (e *Engine) ScheduleFailure(t float64, id int) error {
 	if e.faultSched[id].down {
 		return fmt.Errorf("core: server %d is already scheduled to be down at t=%g (schedule its recovery first)", id, t)
 	}
+	if e.faultSched[id].dimmed {
+		return fmt.Errorf("core: server %d is scheduled to be browned out at t=%g (schedule its restore first)", id, t)
+	}
 	e.faultSched[id] = faultSched{down: true, lastT: t}
 	e.push(t, event{kind: evFailure, server: int32(id)})
 	return nil
@@ -353,6 +386,46 @@ func (e *Engine) ScheduleRecovery(t float64, id int, cold bool) error {
 	}
 	e.faultSched[id] = faultSched{down: false, lastT: t}
 	e.push(t, event{kind: evRecovery, server: int32(id), cold: cold})
+	return nil
+}
+
+// ScheduleBrownout arranges for server id's effective bandwidth to drop
+// to the fraction frac ∈ (0,1] of its configured capacity at time t.
+// Its slot count scales with it; under minimum-flow scheduling, streams
+// in excess of the reduced slots go through the same rescue → park →
+// drop ladder a failure applies. Per server, brownouts must be restored
+// before the next brownout or failure, and may not target a server
+// scheduled to be down. Call before Run.
+func (e *Engine) ScheduleBrownout(t float64, id int, frac float64) error {
+	if err := e.checkFaultTime(t, id, "brownout"); err != nil {
+		return err
+	}
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return fmt.Errorf("core: brownout fraction %g must be in (0,1]", frac)
+	}
+	if e.faultSched[id].down {
+		return fmt.Errorf("core: server %d is scheduled to be down at t=%g (a down server has no bandwidth to dim)", id, t)
+	}
+	if e.faultSched[id].dimmed {
+		return fmt.Errorf("core: server %d is already scheduled to be browned out at t=%g (schedule its restore first)", id, t)
+	}
+	e.faultSched[id] = faultSched{dimmed: true, lastT: t}
+	e.push(t, event{kind: evBrownout, server: int32(id), frac: frac})
+	return nil
+}
+
+// ScheduleRestore arranges for a browned-out server to return to full
+// capacity at time t. It must follow a scheduled brownout of the same
+// server. Call before Run.
+func (e *Engine) ScheduleRestore(t float64, id int) error {
+	if err := e.checkFaultTime(t, id, "restore"); err != nil {
+		return err
+	}
+	if !e.faultSched[id].dimmed {
+		return fmt.Errorf("core: restore of server %d at t=%g without a preceding brownout", id, t)
+	}
+	e.faultSched[id] = faultSched{lastT: t}
+	e.push(t, event{kind: evBrownoutEnd, server: int32(id)})
 	return nil
 }
 
@@ -475,6 +548,10 @@ func (e *Engine) Step() bool {
 		e.handleRetry(ev.req, e.now)
 	case evParkTick:
 		e.handleParkTick(ev.req, ev.version, e.now)
+	case evBrownout:
+		e.handleBrownout(e.servers[ev.server], ev.frac, e.now)
+	case evBrownoutEnd:
+		e.handleBrownoutEnd(e.servers[ev.server], e.now)
 	}
 	if e.cfg.CheckInvariants {
 		e.checkInvariants()
@@ -504,19 +581,41 @@ func (e *Engine) handleArrival(t float64) {
 	e.metrics.Arrivals++
 
 	v := req.Video
+	class := e.drawTrafficClass()
+	if class >= 0 {
+		e.metrics.ClassArrivals[class]++
+	}
 	bufCap, recvCap := e.drawClientCaps()
+	if e.shedArrival(int32(v), class, t) {
+		// Shed up front: no retry queue, no replication — the point of
+		// shedding is to stop spending overloaded capacity on low
+		// classes.
+		e.metrics.Rejected++
+		e.metrics.ClassRejected[class]++
+		e.metrics.ClassShed[class]++
+		if e.obs != nil {
+			e.obs.OnReject(t, v)
+		}
+		return
+	}
 	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
+		if class >= 0 {
+			e.metrics.ClassAccepted[class]++
+		}
 		e.observe(ObsWait, 0)
 		return
 	}
-	if e.admit(v, t, bufCap, recvCap) {
+	if e.admit(v, t, bufCap, recvCap, class) {
 		e.observe(ObsWait, 0)
 		return
 	}
 	if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
-		e.enqueueRetry(v, t, bufCap, recvCap)
+		e.enqueueRetry(v, t, bufCap, recvCap, class)
 	} else {
 		e.metrics.Rejected++
+		if class >= 0 {
+			e.metrics.ClassRejected[class]++
+		}
 		if e.obs != nil {
 			e.obs.OnReject(t, v)
 		}
@@ -620,64 +719,16 @@ func (e *Engine) handleFailure(s *server, t float64) {
 	s.failed = true
 	e.metrics.Failures++
 	e.abortCopies(s)
-	bview := e.cfg.ViewRate
 	rescued, dropped, parked := 0, 0, 0
 	for len(s.active) > 0 {
-		r := s.active[0]
-		var target *server
-		// Rescue is migration: it requires DRM to be configured (the
-		// paper's fault-tolerance benefit comes from the ability to
-		// switch servers mid-stream). The hops budget is waived — a
-		// stream facing death is moved if at all possible.
-		if e.cfg.Migration.Enabled && e.migratable(r, t, true) {
-			for _, h := range e.holders(int(r.video)) {
-				c := e.servers[h]
-				if e.cfg.Intermittent {
-					c.syncAll(t) // canAccept reads buffer levels
-				}
-				if e.canAccept(c, t) && e.eligibleTarget(r, c, t) &&
-					(target == nil || c.load() < target.load()) {
-					target = c
-				}
-			}
-		}
-		if target == nil {
-			// No rescue target. A stream with buffered data can play on
-			// in degraded mode and try to reconnect later; patch trees
-			// are pinned and mid-switch streams have no data flowing.
-			if e.cfg.Degraded.Enabled && !r.isPatch && r.taps == 0 &&
-				!s.suspendedAt(0, t) && !s.finishedAt(0) &&
-				s.bufferOf(0, t, bview) > dataEps {
-				e.park(r, s, t)
-				parked++
-				continue
-			}
-			// No home for this stream: it is dropped mid-play.
-			s.detach(r)
-			e.metrics.DroppedStreams++
-			e.metrics.DeliveredBytes += r.carrySent
-			e.observe(ObsMigrations, float64(r.hops))
+		switch e.evictSlot0(s, t) {
+		case evictRescued:
+			rescued++
+		case evictParked:
+			parked++
+		case evictDropped:
 			dropped++
-			e.recycle(r)
-			continue
 		}
-		target.syncAll(t)
-		s.detach(r)
-		target.attach(r)
-		r.hops++
-		if d := e.cfg.Migration.SwitchDelay; d > 0 {
-			target.setSuspend(r, t+d)
-		}
-		e.metrics.Migrations++
-		e.metrics.RescuedStreams++
-		rescued++
-		if e.obs != nil {
-			e.obs.OnMigrate(t, r.id, int(r.video), int(s.id), int(target.id), true)
-		}
-		if e.audit != nil {
-			e.auditFail(e.audit.Migration(t, r.id, r.video, s.id, target.id, r.hops, true))
-		}
-		e.reschedule(target, t)
 	}
 	s.version++ // cancel any pending wake; the server is dead
 	if e.obs != nil {
@@ -700,6 +751,7 @@ func (e *Engine) newRequest(video int, t float64) *request {
 	}
 	e.nextID++
 	r.id = e.nextID
+	r.class = -1 // admit overrides with the drawn traffic class
 	r.video = int32(video)
 	r.size = e.cat.Video(video).Size
 	r.start = t

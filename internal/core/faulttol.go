@@ -28,10 +28,11 @@ package core
 type retryEntry struct {
 	id       int64
 	video    int32
+	class    int32 // traffic class (-1 on classless runs)
 	bufCap   float64
 	recvCap  float64
 	arrived  float64 // arrival time, for the sojourn observation
-	deadline float64 // reneging time: arrival + patience
+	deadline float64 // reneging time: arrival + the class's patience
 }
 
 // Config accessors with their documented defaults.
@@ -125,17 +126,18 @@ func (e *Engine) wipeStorage(s *server) {
 
 // enqueueRetry parks a rejected arrival in the retry queue and
 // schedules its first re-attempt. The caller has already checked the
-// queue bound.
-func (e *Engine) enqueueRetry(v int, t, bufCap, recvCap float64) {
+// queue bound. Patience is the traffic class's (premium tiers wait
+// longer), the global default on classless runs.
+func (e *Engine) enqueueRetry(v int, t, bufCap, recvCap float64, class int32) {
 	if e.retryQ == nil {
 		e.retryQ = make(map[int64]*retryEntry)
 	}
 	e.nextRetryID++
 	en := &retryEntry{
-		id: e.nextRetryID, video: int32(v),
+		id: e.nextRetryID, video: int32(v), class: class,
 		bufCap: bufCap, recvCap: recvCap,
 		arrived:  t,
-		deadline: t + e.retryPatience(),
+		deadline: t + e.classPatience(class),
 	}
 	e.retryQ[en.id] = en
 	e.metrics.RetriesQueued++
@@ -161,7 +163,7 @@ func (e *Engine) handleRetry(id int64, t float64) {
 		return
 	}
 	v := int(en.video)
-	if e.admit(v, t, en.bufCap, en.recvCap) {
+	if e.admit(v, t, en.bufCap, en.recvCap, en.class) {
 		delete(e.retryQ, id)
 		e.metrics.RetriedAdmissions++
 		e.observe(ObsWait, t-en.arrived)
@@ -171,6 +173,9 @@ func (e *Engine) handleRetry(id int64, t float64) {
 	if t+timeEps >= en.deadline {
 		delete(e.retryQ, id)
 		e.metrics.Reneged++
+		if en.class >= 0 {
+			e.metrics.ClassReneged[en.class]++
+		}
 		e.observe(ObsRetrySojourn, t-en.arrived)
 		if e.obs != nil {
 			e.obs.OnReject(t, v)
@@ -225,7 +230,11 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 	}
 	r.syncTo(t)
 	bview := e.cfg.ViewRate
-	best := e.selector().Select(e, int(r.video), t)
+	// Reconnection goes through the request's class selector, which
+	// re-checks feasibility against each candidate's *effective*
+	// capacity — a browned-out holder with its reduced slots full is
+	// skipped exactly like a failed one.
+	best := e.classSelector(r.class).Select(e, int(r.video), t)
 	if best != nil {
 		d := e.cfg.Migration.SwitchDelay
 		if d <= 0 || r.bufferAt(t, bview) >= d*bview-dataEps {

@@ -220,3 +220,58 @@ func TestDegradedParkResumesAfterRecovery(t *testing.T) {
 		t.Error("parked stream never finished after readmission")
 	}
 }
+
+// TestDegradedParkBrownoutInteraction pins the reconnect seam between
+// degraded-mode parking and brownouts: a parked stream's park ticks go
+// through the admission selector, which must judge a browned-out
+// holder by its *effective* capacity. Stream A parks when its only
+// holder fails; the holder comes back dimmed before A's buffer dries.
+// Whether A resumes then hinges solely on whether the dimmed slot
+// count is zero or one — and a zero-slot brownout holds A parked until
+// the restore (or the buffer's end, whichever comes first).
+func TestDegradedParkBrownoutInteraction(t *testing.T) {
+	cases := []struct {
+		name      string
+		frac      float64 // brownout fraction applied at t=58
+		restoreAt float64 // 0 = never restored
+		resumed   int64
+		glitches  int64
+		dropped   int64
+		completed int64
+	}{
+		// 0.4·6 = 2.4 Mb/s < b_view: zero slots, reconnect infeasible
+		// until the restore at t=90 (buffer dries at t=100).
+		{"zero-slot brownout waits for restore", 0.4, 90, 1, 0, 0, 3},
+		// Same brownout, no restore: A stays parked past buffer
+		// exhaustion and the viewer eats the glitch.
+		{"zero-slot brownout never restored", 0.4, 0, 0, 1, 1, 2},
+		// 0.6·6 = 3.6 Mb/s: one dimmed slot is free and feasible, so
+		// the first park tick after the brownout reconnects A.
+		{"dimmed holder with a free slot resumes", 0.6, 0, 1, 0, 0, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, _ := parkScenario(t) // fails A's holder (server 0) at t=50
+			if err := e.ScheduleRecovery(57, 0, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ScheduleBrownout(58, 0, tc.frac); err != nil {
+				t.Fatal(err)
+			}
+			if tc.restoreAt > 0 {
+				if err := e.ScheduleRestore(tc.restoreAt, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m := run(t, e, 2000)
+			if m.DegradedParked != 1 || m.DegradedResumed != tc.resumed || m.DegradedGlitches != tc.glitches {
+				t.Fatalf("parked=%d resumed=%d glitches=%d, want 1/%d/%d",
+					m.DegradedParked, m.DegradedResumed, m.DegradedGlitches, tc.resumed, tc.glitches)
+			}
+			if m.DroppedStreams != tc.dropped || m.Completions != tc.completed {
+				t.Fatalf("dropped=%d completions=%d, want %d/%d",
+					m.DroppedStreams, m.Completions, tc.dropped, tc.completed)
+			}
+		})
+	}
+}

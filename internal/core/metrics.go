@@ -73,6 +73,26 @@ type Metrics struct {
 	DegradedParked   int64 // streams parked at failure, playing from buffer
 	DegradedResumed  int64 // parked streams readmitted to a server
 	DegradedGlitches int64 // parked streams whose buffer ran dry (dropped)
+
+	// Brownout accounting: every brownout is eventually restored, so
+	// Brownouts == BrownoutRestores once the schedule drains (a run may
+	// end with a restore still pending past the horizon).
+	Brownouts        int64 // servers dimmed to a fraction of capacity
+	BrownoutRestores int64 // servers returned to full capacity
+
+	// Overload-shedding accounting. SheddingActivated counts the shed
+	// controller's normal→shedding transitions; the per-class arrays
+	// below (indexed by Config.Classes, all-zero on classless runs) are
+	// fixed-size so Metrics stays comparable. Per class,
+	// ClassArrivals == ClassAccepted + ClassRejected + ClassReneged
+	// after drain, and ClassShed ⊆ ClassRejected counts the rejections
+	// the shed controller made up front.
+	SheddingActivated int64
+	ClassArrivals     [MaxTrafficClasses]int64
+	ClassAccepted     [MaxTrafficClasses]int64
+	ClassRejected     [MaxTrafficClasses]int64
+	ClassReneged      [MaxTrafficClasses]int64
+	ClassShed         [MaxTrafficClasses]int64
 }
 
 // Utilization returns delivered load as a fraction of cluster capacity

@@ -58,6 +58,12 @@ type request struct {
 
 	hops int32 // lifetime migrations so far
 
+	// class is the request's traffic class index (Config.Classes), -1
+	// on classless runs. It rides the request so retry re-attempts and
+	// parked-stream reconnects keep using the class's selector and
+	// patience.
+	class int32
+
 	// Patching state: isPatch marks a unicast prefix stream whose
 	// remainder arrives via a multicast tap; taps counts dependents
 	// fed from this stream's transmission. Either pins the stream to

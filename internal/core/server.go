@@ -21,6 +21,14 @@ type server struct {
 	version uint64
 
 	failed bool
+
+	// dimFrac is the brownout state: 0 when the server runs at full
+	// capacity, otherwise the fraction f ∈ (0,1] its effective bandwidth
+	// (and the slots derived from it) is scaled to. The base capacity
+	// stays in Config.ServerBandwidth; bandwidth/slots above always hold
+	// the effective values, so allocators, selectors, and invariants
+	// need no brownout awareness.
+	dimFrac float64
 }
 
 // hasSlot reports whether the server can admit one more stream under

@@ -308,6 +308,64 @@ func TestFaultSweepEFTFBeatsEvenSplit(t *testing.T) {
 	}
 }
 
+func TestOverloadSweepTiny(t *testing.T) {
+	out, err := OverloadSweep(semicont.SmallSystem(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Figures) != 3 {
+		t.Fatalf("overload-sweep has %d figures, want premium + standard + glitch", len(out.Figures))
+	}
+	for _, fig := range out.Figures {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s has %d series, want shed-off + two watermarks", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 4 {
+				t.Errorf("%s/%s has %d points, want 4", fig.ID, s.Name, len(s.Points))
+			}
+		}
+	}
+}
+
+// TestOverloadSheddingProtectsPremium pins the experiment's headline
+// claim: through a flash crowd that doubles the aggregate arrival rate,
+// class-based shedding keeps premium denial at least 3× lower than
+// running the same surge with shedding disabled — the standard tier
+// absorbs the cuts. Scaled down from the registry run but long enough
+// for the effect to dominate noise.
+func TestOverloadSheddingProtectsPremium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour overload sweep skipped in -short mode")
+	}
+	out, err := OverloadSweep(semicont.SmallSystem(), Options{HorizonHours: 20, Trials: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(fig Figure, name string, x float64) float64 {
+		for _, s := range fig.Series {
+			if s.Name != name {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Mean
+				}
+			}
+		}
+		t.Fatalf("%s: no point %q at x=%g", fig.ID, name, x)
+		return 0
+	}
+	premium := out.Figures[0]
+	off, on := at(premium, "shed-off", 2), at(premium, "wm=0.75", 2)
+	if off <= 0 {
+		t.Fatalf("2x flash crowd denied no premium arrivals without shedding (off=%v)", off)
+	}
+	if on > off/3 {
+		t.Errorf("premium denial with shedding %v not 3x below shed-off %v", on, off)
+	}
+}
+
 func TestAdmissionSweepTiny(t *testing.T) {
 	out, err := AdmissionSweep(semicont.SmallSystem(), tinyOpts())
 	if err != nil {

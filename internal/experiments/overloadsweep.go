@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semicont"
+	"semicont/internal/faults"
+	"semicont/internal/stats"
+	"semicont/internal/workload"
+)
+
+// OverloadSweep measures class-based load shedding under a flash crowd
+// layered on background fault churn. The arrival stream splits into a
+// premium tier (25% of traffic, patient retries) and a standard tier
+// (75%); a flash-crowd window multiplies the aggregate rate by the
+// burst factor for 30% of the horizon, concentrating the surge on one
+// video. Each burst factor runs once with shedding disabled and once
+// per shed watermark, so the figures show what the watermark buys: with
+// shedding off, the surge denies both classes alike; with shedding on,
+// standard arrivals are turned away at the door while premium denial
+// stays near its no-surge baseline. Dynamic replication runs in every
+// configuration so the hot flash video gains copies instead of pinning
+// denial to its initial placement. Light server churn (failures plus
+// half-rate brownouts) runs underneath so the glitch figure has
+// content and the audited smoke run exercises faults and overload
+// together.
+func OverloadSweep(sys semicont.System, opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	bursts := []float64{1, 1.5, 2, 3}
+	sheds := []struct {
+		name      string
+		watermark float64
+	}{
+		{"shed-off", 0},
+		{"wm=0.75", 0.75},
+		{"wm=0.9", 0.9},
+	}
+	horizonSec := opts.HorizonHours * 3600
+	w := newSweeper(opts)
+	cells := make(map[string][]cellRef, len(sheds))
+	for _, sh := range sheds {
+		for _, burst := range bursts {
+			var curve workload.Curve
+			if burst > 1 {
+				curve = workload.Curve{
+					FlashAt:       0.3 * horizonSec,
+					FlashDuration: 0.3 * horizonSec,
+					FlashFactor:   burst,
+					FlashVideo:    0,
+				}
+			}
+			sc := semicont.Scenario{
+				System: sys,
+				Policy: semicont.Policy{
+					Name:             sh.name,
+					Placement:        semicont.EvenPlacement,
+					StagingFrac:      0.2,
+					ReceiveCap:       semicont.DefaultReceiveCap,
+					Migration:        true,
+					Replicate:        true,
+					MaxHops:          semicont.UnlimitedHops,
+					MaxChain:         1,
+					RetryQueue:       true,
+					DegradedPlayback: true,
+					Classes: []semicont.TrafficClass{
+						{Name: "premium", Share: 1, RetryPatienceSec: 600},
+						{Name: "standard", Share: 3},
+					},
+					ShedWatermark: sh.watermark,
+				},
+				Theta:        PriorStudiesTheta,
+				HorizonHours: opts.HorizonHours,
+				LoadFactor:   0.85,
+				Seed:         opts.Seed,
+				Faults: faults.Config{
+					MTBFHours: 40, MTTRHours: 1,
+					BrownoutMTBFHours: 30, BrownoutMTTRHours: 2, BrownoutFraction: 0.5,
+				},
+				Curve: curve,
+				Audit: opts.Audit,
+			}
+			label := fmt.Sprintf("overload-sweep %s at burst=%g", sh.name, burst)
+			cells[sh.name] = append(cells[sh.name], w.cell(label, sc))
+		}
+	}
+	if err := w.wait(); err != nil {
+		return nil, err
+	}
+	denialRate := func(r *semicont.Result, class int) (float64, bool) {
+		if r.ClassArrivals[class] == 0 {
+			return 0, false
+		}
+		return float64(r.ClassRejected[class]+r.ClassReneged[class]) /
+			float64(r.ClassArrivals[class]), true
+	}
+	var premium, standard, glitches []stats.Series
+	for _, sh := range sheds {
+		prem := stats.Series{Name: sh.name}
+		std := stats.Series{Name: sh.name}
+		gl := stats.Series{Name: sh.name}
+		for i, burst := range bursts {
+			var pSmp, sSmp, gSmp stats.Sample
+			for _, r := range cells[sh.name][i].results() {
+				if d, ok := denialRate(r, 0); ok {
+					pSmp.Add(d)
+				}
+				if d, ok := denialRate(r, 1); ok {
+					sSmp.Add(d)
+				}
+				if r.Accepted > 0 {
+					gSmp.Add(float64(r.DegradedGlitches+r.GlitchedStreams) / float64(r.Accepted))
+				}
+			}
+			prem.Points = append(prem.Points, stats.FromSample(burst, &pSmp))
+			std.Points = append(std.Points, stats.FromSample(burst, &sSmp))
+			gl.Points = append(gl.Points, stats.FromSample(burst, &gSmp))
+			opts.Progress("  overload-sweep %s burst=%g premium=%.4f standard=%.4f glitch=%.4f",
+				sh.name, burst, pSmp.Mean(), sSmp.Mean(), gSmp.Mean())
+		}
+		premium, standard, glitches = append(premium, prem), append(standard, std), append(glitches, gl)
+	}
+	id := "overload-sweep-" + sys.Name
+	return &Output{
+		ID:    id,
+		Title: fmt.Sprintf("Overload sweep: class-based shedding through a flash crowd (%s system)", sys.Name),
+		Figures: []Figure{
+			{
+				ID:     id + "-premium-denial",
+				Title:  fmt.Sprintf("Premium denial rate vs. flash-crowd burst factor, %s system (load 0.85, churn MTBF 40 h)", sys.Name),
+				XLabel: "burst-factor",
+				YLabel: "denial-rate",
+				Series: premium,
+				Notes:  "Expected shape: without shedding premium denial climbs with the burst as the surge exhausts the cluster; with shedding the standard tier absorbs the cuts and premium denial stays near its burst=1 baseline.",
+			},
+			{
+				ID:     id + "-standard-denial",
+				Title:  fmt.Sprintf("Standard denial rate vs. flash-crowd burst factor, %s system", sys.Name),
+				XLabel: "burst-factor",
+				YLabel: "denial-rate",
+				Series: standard,
+				Notes:  "Expected shape: rises with the burst everywhere; under shedding it rises faster and earlier (the watermark converts premium protection into standard rejections), with the lower watermark shedding more.",
+			},
+			{
+				ID:     id + "-glitch",
+				Title:  fmt.Sprintf("Glitch rate (interruptions per admission) vs. burst factor, %s system", sys.Name),
+				XLabel: "burst-factor",
+				YLabel: "glitch-rate",
+				Series: glitches,
+				Notes:  "Expected shape: shedding keeps admitted streams' glitch exposure roughly flat through the surge — fewer admissions fighting the same churned capacity — while shed-off admits into congestion and glitches more as the burst grows.",
+			},
+		},
+	}, nil
+}

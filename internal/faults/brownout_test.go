@@ -1,0 +1,359 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestValidateBrownoutAndDomains(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		servers int
+		ok      bool
+	}{
+		{"stochastic brownout", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 0.5}, 4, true},
+		{"brownout without mttr", Config{BrownoutMTBFHours: 10, BrownoutFraction: 0.5}, 4, false},
+		{"brownout without fraction", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1}, 4, false},
+		{"brownout fraction zero", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 0}, 4, false},
+		{"brownout fraction above one", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 1.5}, 4, false},
+		{"brownout fraction nan", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: math.NaN()}, 4, false},
+		{"brownout fraction one", Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 1}, 4, true},
+		{"stray negative fraction", Config{BrownoutFraction: -0.5}, 4, false},
+		{"failures plus brownouts", Config{MTBFHours: 5, MTTRHours: 1,
+			BrownoutMTBFHours: 3, BrownoutMTTRHours: 1, BrownoutFraction: 0.5}, 4, true},
+		{"domains alone", Config{Domains: [][]int{{0, 1}, {2, 3}}}, 4, true},
+		{"empty domain", Config{Domains: [][]int{{0, 1}, {}}}, 4, false},
+		{"domain member out of range", Config{Domains: [][]int{{0, 4}}}, 4, false},
+		{"domain member negative", Config{Domains: [][]int{{-1}}}, 4, false},
+		{"duplicate within domain", Config{Domains: [][]int{{0, 0}}}, 4, false},
+		{"duplicate across domains", Config{Domains: [][]int{{0, 1}, {1, 2}}}, 4, false},
+		{"domain process", Config{Domains: [][]int{{0, 1}, {2, 3}},
+			DomainMTBFHours: 10, DomainMTTRHours: 1}, 4, true},
+		{"domain process without domains", Config{DomainMTBFHours: 10, DomainMTTRHours: 1}, 4, false},
+		{"domain process without mttr", Config{Domains: [][]int{{0}}, DomainMTBFHours: 10}, 4, false},
+		{"domain brownout", Config{Domains: [][]int{{0, 1}},
+			DomainMTBFHours: 10, DomainMTTRHours: 1, DomainBrownout: true, DomainFraction: 0.25}, 4, true},
+		{"domain brownout without fraction", Config{Domains: [][]int{{0, 1}},
+			DomainMTBFHours: 10, DomainMTTRHours: 1, DomainBrownout: true}, 4, false},
+		{"domain fraction without brownout", Config{Domains: [][]int{{0, 1}},
+			DomainMTBFHours: 10, DomainMTTRHours: 1, DomainFraction: 0.25}, 4, false},
+		{"domain process excludes per-server", Config{MTBFHours: 5, MTTRHours: 1,
+			Domains: [][]int{{0}}, DomainMTBFHours: 10, DomainMTTRHours: 1}, 4, false},
+		{"domain process excludes trace", Config{Domains: [][]int{{0}},
+			DomainMTBFHours: 10, DomainMTTRHours: 1,
+			Trace: []Event{{AtHours: 1, Server: 1, Kind: KindFail}}}, 4, false},
+		{"brownout process excludes trace", Config{
+			BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 0.5,
+			Trace: []Event{{AtHours: 1, Server: 1, Kind: KindFail}}}, 4, false},
+
+		{"trace brownout pair", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+			{AtHours: 2, Server: 0, Kind: KindRestore},
+		}}, 4, true},
+		{"trace brownout missing fraction", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout}}}, 4, false},
+		{"trace brownout fraction above one", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 2}}}, 4, false},
+		{"trace fraction on fail", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindFail, Fraction: 0.5}}}, 4, false},
+		{"trace restore while up", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindRestore}}}, 4, false},
+		{"trace double brownout", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+			{AtHours: 2, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+		}}, 4, false},
+		{"trace fail while browned out", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+			{AtHours: 2, Server: 0, Kind: KindFail},
+		}}, 4, false},
+		{"trace brownout while down", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindFail},
+			{AtHours: 2, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+		}}, 4, false},
+		{"trace recover a brownout", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+			{AtHours: 2, Server: 0, Kind: KindRecover},
+		}}, 4, false},
+		{"trace cold brownout", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5, Cold: true}}}, 4, false},
+		{"trace cold restore", Config{Trace: []Event{
+			{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+			{AtHours: 2, Server: 0, Kind: KindRestore, Cold: true},
+		}}, 4, false},
+
+		{"trace domain pair", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Domain: 0, Kind: KindDomainFail},
+			{AtHours: 2, Domain: 0, Kind: KindDomainRecover, Cold: true},
+		}}, 4, true},
+		{"trace domain brownout pair", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Domain: 0, Kind: KindDomainBrownout, Fraction: 0.5},
+			{AtHours: 2, Domain: 0, Kind: KindDomainRestore},
+		}}, 4, true},
+		{"trace domain out of range", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Domain: 1, Kind: KindDomainFail}}}, 4, false},
+		{"trace domain event with server", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Server: 1, Domain: 0, Kind: KindDomainFail}}}, 4, false},
+		{"trace server event with domain", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Server: 2, Domain: 1, Kind: KindFail}}}, 4, false},
+		{"trace domain overlaps member fail", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Server: 1, Kind: KindFail},
+			{AtHours: 2, Domain: 0, Kind: KindDomainFail},
+		}}, 4, false},
+		{"trace domain brownout overlaps member fail", Config{Domains: [][]int{{0, 1}}, Trace: []Event{
+			{AtHours: 1, Server: 1, Kind: KindFail},
+			{AtHours: 2, Domain: 0, Kind: KindDomainBrownout, Fraction: 0.5},
+		}}, 4, false},
+		{"trace double domain fail", Config{Domains: [][]int{{0}, {1}}, Trace: []Event{
+			{AtHours: 1, Domain: 0, Kind: KindDomainFail},
+			{AtHours: 2, Domain: 0, Kind: KindDomainFail},
+		}}, 4, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate(tc.servers)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("config %+v validated, want error", tc.cfg)
+			}
+		})
+	}
+}
+
+// TestEnabledBrownoutOnlyTrace pins the satellite fix: a trace (or
+// stochastic process) containing only brownouts must arm the fault path.
+func TestEnabledBrownoutOnlyTrace(t *testing.T) {
+	cfg := Config{Trace: []Event{
+		{AtHours: 1, Server: 0, Kind: KindBrownout, Fraction: 0.5},
+		{AtHours: 2, Server: 0, Kind: KindRestore},
+	}}
+	if !cfg.Enabled() {
+		t.Fatal("brownout-only trace reported disabled")
+	}
+	if !(Config{BrownoutMTBFHours: 10, BrownoutMTTRHours: 1, BrownoutFraction: 0.5}).Enabled() {
+		t.Fatal("stochastic brownout process reported disabled")
+	}
+	if !(Config{Domains: [][]int{{0}}, DomainMTBFHours: 10, DomainMTTRHours: 1}).Enabled() {
+		t.Fatal("stochastic domain process reported disabled")
+	}
+	if (Config{Domains: [][]int{{0}}}).Enabled() {
+		t.Fatal("domains without any process reported enabled")
+	}
+}
+
+func TestCompileBrownoutTrace(t *testing.T) {
+	cfg := Config{Trace: []Event{
+		{AtHours: 0.5, Server: 1, Kind: KindBrownout, Fraction: 0.25},
+		{AtHours: 1, Server: 1, Kind: KindRestore},
+	}}
+	evs, err := Compile(cfg, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Compiled{
+		{At: 1800, Server: 1, Brownout: true, Fraction: 0.25},
+		{At: 3600, Server: 1, Brownout: true, Recover: true},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("compiled %+v, want %+v", evs, want)
+	}
+}
+
+func TestCompileDomainTrace(t *testing.T) {
+	cfg := Config{Domains: [][]int{{2, 0}, {1, 3}}, Trace: []Event{
+		{AtHours: 0.5, Domain: 0, Kind: KindDomainFail},
+		{AtHours: 1, Domain: 0, Kind: KindDomainRecover, Cold: true},
+		{AtHours: 1.5, Domain: 1, Kind: KindDomainBrownout, Fraction: 0.5},
+		{AtHours: 2, Domain: 1, Kind: KindDomainRestore},
+	}}
+	evs, err := Compile(cfg, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member expansion happens at compile time; the final stable sort
+	// orders equal-time events by server id.
+	want := []Compiled{
+		{At: 1800, Server: 0},
+		{At: 1800, Server: 2},
+		{At: 3600, Server: 0, Recover: true, Cold: true},
+		{At: 3600, Server: 2, Recover: true, Cold: true},
+		{At: 5400, Server: 1, Brownout: true, Fraction: 0.5},
+		{At: 5400, Server: 3, Brownout: true, Fraction: 0.5},
+		{At: 7200, Server: 1, Brownout: true, Recover: true},
+		{At: 7200, Server: 3, Brownout: true, Recover: true},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("compiled %+v, want %+v", evs, want)
+	}
+}
+
+// TestCompileStochasticBrownout checks pairing, fraction stamping, and
+// horizon discipline for the per-server brownout process.
+func TestCompileStochasticBrownout(t *testing.T) {
+	cfg := Config{BrownoutMTBFHours: 5, BrownoutMTTRHours: 0.5, BrownoutFraction: 0.3}
+	evs, err := Compile(cfg, 4, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 || len(evs)%2 != 0 {
+		t.Fatalf("%d events: want a non-empty paired schedule", len(evs))
+	}
+	dimmed := make(map[int]bool)
+	for i, ev := range evs {
+		if !ev.Brownout {
+			t.Fatalf("event %d is not a brownout: %+v", i, ev)
+		}
+		if ev.Recover {
+			if !dimmed[ev.Server] {
+				t.Fatalf("event %d restores server %d while undimmed", i, ev.Server)
+			}
+			if ev.Fraction != 0 {
+				t.Fatalf("event %d: restore carries fraction %g", i, ev.Fraction)
+			}
+			dimmed[ev.Server] = false
+		} else {
+			if dimmed[ev.Server] {
+				t.Fatalf("event %d dims server %d twice", i, ev.Server)
+			}
+			if ev.Fraction != 0.3 {
+				t.Fatalf("event %d fraction %g, want 0.3", i, ev.Fraction)
+			}
+			if ev.At >= 100*3600 {
+				t.Fatalf("event %d begins at %g past the horizon", i, ev.At)
+			}
+			dimmed[ev.Server] = true
+		}
+	}
+}
+
+// TestCompileBrownoutOverlapSuppression runs the failure and brownout
+// processes together and checks the merged schedule still alternates
+// cleanly per server through the up/down/dimmed state machine — i.e.
+// every brownout interval overlapping a down interval was dropped.
+func TestCompileBrownoutOverlapSuppression(t *testing.T) {
+	cfg := Config{
+		MTBFHours: 2, MTTRHours: 1,
+		BrownoutMTBFHours: 2, BrownoutMTTRHours: 1, BrownoutFraction: 0.5,
+	}
+	evs, err := Compile(cfg, 6, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBrownout, sawFailure bool
+	state := make(map[int]uint8)
+	for i, ev := range evs {
+		var kind string
+		switch {
+		case ev.Brownout && ev.Recover:
+			kind = KindRestore
+		case ev.Brownout:
+			kind = KindBrownout
+			sawBrownout = true
+		case ev.Recover:
+			kind = KindRecover
+		default:
+			kind = KindFail
+			sawFailure = true
+		}
+		if err := stepFaultState(state, ev.Server, kind, "server", i); err != nil {
+			t.Fatalf("merged schedule breaks alternation: %v (event %+v)", err, ev)
+		}
+	}
+	if !sawBrownout || !sawFailure {
+		t.Fatalf("want both processes represented: brownout=%v failure=%v", sawBrownout, sawFailure)
+	}
+}
+
+// TestCompileStochasticDomain checks that domain events move every
+// member together and that domain draws are independent per domain.
+func TestCompileStochasticDomain(t *testing.T) {
+	cfg := Config{
+		Domains:         [][]int{{0, 1}, {2, 3}},
+		DomainMTBFHours: 5, DomainMTTRHours: 0.5, Cold: true,
+	}
+	evs, err := Compile(cfg, 4, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no domain events over 100 h at MTBF 5 h")
+	}
+	// Group by (At, Recover): each group must be exactly one domain's
+	// member set.
+	type key struct {
+		at      float64
+		recover bool
+	}
+	groups := make(map[key][]int)
+	for _, ev := range evs {
+		if ev.Brownout {
+			t.Fatalf("non-brownout domain process emitted %+v", ev)
+		}
+		if ev.Recover && !ev.Cold {
+			t.Fatalf("Cold config must mark domain recoveries cold: %+v", ev)
+		}
+		groups[key{ev.At, ev.Recover}] = append(groups[key{ev.At, ev.Recover}], ev.Server)
+	}
+	for k, members := range groups {
+		if !reflect.DeepEqual(members, []int{0, 1}) && !reflect.DeepEqual(members, []int{2, 3}) {
+			t.Fatalf("group %+v is not a whole domain: %v", k, members)
+		}
+	}
+
+	// Adding a domain must not perturb existing domains' draws.
+	bigger := cfg
+	bigger.Domains = [][]int{{0, 1}, {2, 3}, {4, 5}}
+	evs2, err := Compile(bigger, 6, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(in []Compiled) []Compiled {
+		var out []Compiled
+		for _, ev := range in {
+			if ev.Server < 4 {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(evs, filter(evs2)) {
+		t.Fatal("adding a domain perturbed existing domains' draws")
+	}
+}
+
+func TestParseTraceBrownoutAndDomain(t *testing.T) {
+	good := []byte(`[
+		{"at_hours": 0.5, "server": 1, "kind": "brownout", "fraction": 0.5},
+		{"at_hours": 1, "server": 1, "kind": "restore"},
+		{"at_hours": 2, "domain": 1, "kind": "domain-fail"},
+		{"at_hours": 3, "domain": 1, "kind": "domain-recover", "cold": true}
+	]`)
+	trace, err := ParseTrace(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 || trace[0].Fraction != 0.5 || trace[2].Domain != 1 {
+		t.Fatalf("parsed %+v", trace)
+	}
+
+	bad := map[string]string{
+		"fraction zero":      `[{"at_hours": 1, "server": 0, "kind": "brownout"}]`,
+		"fraction negative":  `[{"at_hours": 1, "server": 0, "kind": "brownout", "fraction": -0.5}]`,
+		"fraction over one":  `[{"at_hours": 1, "server": 0, "kind": "brownout", "fraction": 1.5}]`,
+		"fraction on fail":   `[{"at_hours": 1, "server": 0, "kind": "fail", "fraction": 0.5}]`,
+		"restore first":      `[{"at_hours": 1, "server": 0, "kind": "restore"}]`,
+		"negative domain":    `[{"at_hours": 1, "domain": -1, "kind": "domain-fail"}]`,
+		"domain with server": `[{"at_hours": 1, "server": 1, "domain": 1, "kind": "domain-fail"}]`,
+		"fail during brownout": `[
+			{"at_hours": 1, "server": 0, "kind": "brownout", "fraction": 0.5},
+			{"at_hours": 2, "server": 0, "kind": "fail"}]`,
+	}
+	for name, in := range bad {
+		if _, err := ParseTrace([]byte(in)); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", name, in)
+		}
+	}
+}

@@ -179,14 +179,14 @@ func TestParseTrace(t *testing.T) {
 	}
 
 	bad := map[string]string{
-		"not json":       `{`,
-		"unknown field":  `[{"at_hours": 1, "server": 0, "kind": "fail", "blast_radius": 3}]`,
-		"trailing data":  `[] []`,
-		"bad kind":       `[{"at_hours": 1, "server": 0, "kind": "melt"}]`,
-		"recover first":  `[{"at_hours": 1, "server": 0, "kind": "recover"}]`,
-		"negative time":  `[{"at_hours": -1, "server": 0, "kind": "fail"}]`,
-		"inf time":       `[{"at_hours": 1e999, "server": 0, "kind": "fail"}]`,
-		"order":          `[{"at_hours": 2, "server": 0, "kind": "fail"}, {"at_hours": 1, "server": 1, "kind": "fail"}]`,
+		"not json":        `{`,
+		"unknown field":   `[{"at_hours": 1, "server": 0, "kind": "fail", "blast_radius": 3}]`,
+		"trailing data":   `[] []`,
+		"bad kind":        `[{"at_hours": 1, "server": 0, "kind": "melt"}]`,
+		"recover first":   `[{"at_hours": 1, "server": 0, "kind": "recover"}]`,
+		"negative time":   `[{"at_hours": -1, "server": 0, "kind": "fail"}]`,
+		"inf time":        `[{"at_hours": 1e999, "server": 0, "kind": "fail"}]`,
+		"order":           `[{"at_hours": 2, "server": 0, "kind": "fail"}, {"at_hours": 1, "server": 1, "kind": "fail"}]`,
 		"negative server": `[{"at_hours": 1, "server": -1, "kind": "fail"}]`,
 	}
 	for name, in := range bad {

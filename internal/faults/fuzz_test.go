@@ -6,8 +6,12 @@ import "testing"
 // panic, and any trace it accepts must compile cleanly against a
 // cluster large enough for its server ids — compilation is where the
 // engine's scheduling preconditions (time order, per-server fail and
-// recover alternation) are consumed, so a parse-then-compile gap would
-// surface as an engine error at run time.
+// recover alternation, brownout fraction ranges, domain expansion) are
+// consumed, so a parse-then-compile gap would surface as an engine
+// error at run time. Domain events name domains the parser cannot see,
+// so the harness synthesizes one singleton domain per referenced id on
+// fresh server ids — parse-time domain-state alternation then maps
+// one-to-one onto compile-time member states.
 func FuzzParseTrace(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`[{"at_hours": 0.5, "server": 2, "kind": "fail"}]`))
@@ -18,18 +22,45 @@ func FuzzParseTrace(f *testing.F) {
 	]`))
 	f.Add([]byte(`{"not": "an array"}`))
 	f.Add([]byte(`[{"at_hours": 1e308, "server": 9999999, "kind": "recover"}]`))
+	f.Add([]byte(`[
+		{"at_hours": 0.25, "server": 3, "kind": "brownout", "fraction": 0.5},
+		{"at_hours": 0.75, "server": 3, "kind": "restore"},
+		{"at_hours": 0.75, "server": 3, "kind": "fail"}
+	]`))
+	f.Add([]byte(`[{"at_hours": 1, "server": 0, "kind": "fail", "fraction": 0.5}]`))
+	f.Add([]byte(`[
+		{"at_hours": 0.1, "domain": 1, "kind": "domain-fail"},
+		{"at_hours": 0.2, "domain": 0, "kind": "domain-brownout", "fraction": 0.25},
+		{"at_hours": 0.4, "domain": 1, "kind": "domain-recover"},
+		{"at_hours": 0.9, "domain": 0, "kind": "domain-restore"}
+	]`))
+	f.Add([]byte(`[{"at_hours": 0.1, "server": 2, "domain": 1, "kind": "domain-fail"}]`))
+	f.Add([]byte(`[
+		{"at_hours": 0.5, "server": 4, "kind": "fail"},
+		{"at_hours": 0.6, "server": 4, "kind": "brownout", "fraction": 0.9}
+	]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		trace, err := ParseTrace(data)
 		if err != nil {
 			return // rejection is fine; panicking is not
 		}
-		servers := 1
+		servers, maxDomain := 1, -1
 		for _, ev := range trace {
 			if ev.Server >= servers {
 				servers = ev.Server + 1
 			}
+			if isDomainKind(ev.Kind) && ev.Domain > maxDomain {
+				maxDomain = ev.Domain
+			}
 		}
-		if _, err := Compile(Config{Trace: trace}, servers, 1, 1); err != nil {
+		if maxDomain >= 1<<12 {
+			return // a huge sparse domain id parses; don't materialize it
+		}
+		var domains [][]int
+		for d := 0; d <= maxDomain; d++ {
+			domains = append(domains, []int{servers + d})
+		}
+		if _, err := Compile(Config{Trace: trace, Domains: domains}, servers+len(domains), 1, 1); err != nil {
 			t.Fatalf("parsed trace failed to compile: %v\ntrace: %+v", err, trace)
 		}
 	})

@@ -41,7 +41,7 @@ func ParseTrace(data []byte) ([]Event, error) {
 	if maxServer == math.MaxInt {
 		return nil, fmt.Errorf("faults: trace server id overflows")
 	}
-	if err := validateTrace(trace, maxServer+1); err != nil {
+	if err := validateTrace(trace, maxServer+1, nil); err != nil {
 		return nil, err
 	}
 	return trace, nil

@@ -23,12 +23,23 @@ type Request struct {
 	Video   int
 }
 
-// Generator produces a Poisson stream of video requests.
+// Generator produces a Poisson stream of video requests, stationary
+// (New) or rate-modulated by a deterministic curve via thinning
+// (NewNonStationary; see curve.go).
 type Generator struct {
 	cat  *catalog.Catalog
 	p    *rng.PCG
 	rate float64 // arrivals per second
 	next float64
+
+	// Thinning state, used only by non-stationary generators
+	// (maxShape > 0). The stationary path draws videos lazily in Next;
+	// the thinning path must look ahead to the next surviving candidate
+	// so Peek stays exact, staging its video in pendingVideo.
+	curve        Curve
+	maxShape     float64 // thinning envelope; 0 = stationary generator
+	candidate    float64 // candidate-process clock, ≥ next
+	pendingVideo int
 }
 
 // CalibratedRate returns the Poisson arrival rate λ (requests/second)
@@ -69,6 +80,11 @@ func (g *Generator) Rate() float64 { return g.rate }
 // Next returns the next request and advances the stream. The horizon is
 // the caller's concern: keep calling until Arrival exceeds it.
 func (g *Generator) Next() Request {
+	if g.maxShape > 0 {
+		r := Request{Arrival: g.next, Video: g.pendingVideo}
+		g.advanceThinned()
+		return r
+	}
 	r := Request{Arrival: g.next, Video: g.cat.Sample(g.p)}
 	g.next += g.p.ExpFloat64() / g.rate
 	return r

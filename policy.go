@@ -185,6 +185,41 @@ type Policy struct {
 	PauseProb   float64
 	MinPauseSec float64
 	MaxPauseSec float64
+
+	// Classes, when non-empty, partitions arrivals into traffic classes
+	// (at most MaxTrafficClasses; index 0 is the highest-priority tier,
+	// never shed). Each arrival draws a class by Share from a split
+	// seed stream; the class can override the admission selector and
+	// retry patience, and is the unit the shed controller acts on.
+	Classes []TrafficClass
+
+	// ShedWatermark, when positive, enables graceful load shedding: at
+	// every arrival the controller compares instantaneous utilization
+	// (minimum-flow committed bandwidth over live effective capacity)
+	// against this watermark in (0, 1], and at or above it rejects
+	// arrivals of every class but class 0 up front — before the retry
+	// queue and before replication reacts. Requires at least two
+	// Classes (with fewer there is nothing to differentiate).
+	ShedWatermark float64
+}
+
+// MaxTrafficClasses mirrors the engine's bound on Policy.Classes.
+const MaxTrafficClasses = core.MaxTrafficClasses
+
+// TrafficClass is one priority tier of the arrival stream (see
+// Policy.Classes).
+type TrafficClass struct {
+	// Name labels the class in reports ("premium", "standard", …).
+	Name string
+	// Share is the class's relative frequency among arrivals.
+	Share float64
+	// Selector optionally overrides the admission selector for this
+	// class by registry name (empty = the policy's selector).
+	Selector string
+	// RetryPatienceSec optionally overrides the retry-queue patience
+	// for this class (0 = the policy's RetryPatienceSec default);
+	// premium tiers typically wait longer.
+	RetryPatienceSec float64
 }
 
 // SpareKind mirrors the engine's spare-bandwidth disciplines.
@@ -399,6 +434,26 @@ func (p Policy) Validate() error {
 	case p.PauseProb > 0 && (!finite(p.MinPauseSec) || !finite(p.MaxPauseSec) ||
 		p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
 		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
+	}
+	if len(p.Classes) > MaxTrafficClasses {
+		return fmt.Errorf("semicont: %d traffic classes exceed the limit of %d", len(p.Classes), MaxTrafficClasses)
+	}
+	for i, c := range p.Classes {
+		if !finite(c.Share) || c.Share <= 0 {
+			return fmt.Errorf("semicont: traffic class %d share %g must be positive", i, c.Share)
+		}
+		if c.Selector != "" && !core.HasSelector(c.Selector) {
+			return fmt.Errorf("semicont: traffic class %d names unknown selector %q (have %v)", i, c.Selector, SelectorNames())
+		}
+		if !finite(c.RetryPatienceSec) || c.RetryPatienceSec < 0 {
+			return fmt.Errorf("semicont: traffic class %d negative RetryPatienceSec %g", i, c.RetryPatienceSec)
+		}
+	}
+	switch {
+	case !finite(p.ShedWatermark) || p.ShedWatermark < 0 || p.ShedWatermark > 1:
+		return fmt.Errorf("semicont: ShedWatermark %g outside [0, 1]", p.ShedWatermark)
+	case p.ShedWatermark > 0 && len(p.Classes) < 2:
+		return fmt.Errorf("semicont: ShedWatermark needs at least two traffic classes to differentiate")
 	}
 	total, staged := 0.0, p.StagingFrac > 0
 	for i, c := range p.ClientMix {
