@@ -11,6 +11,9 @@ import (
 	"semicont/internal/faults"
 )
 
+// Fixture loading and comparison live in golden_fixtures_test.go,
+// shared with the shard-determinism suite.
+
 // Golden equivalence fixtures: fixed-seed results for a scenario matrix
 // spanning staging on/off × DRM hops × intermittent × patching (plus
 // the extension mechanisms), captured from the pre-refactor allocation
@@ -21,8 +24,6 @@ import (
 //
 //	go test -run TestGoldenEquivalence -update-golden .
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_equiv.json from the current engine")
-
-const goldenEquivPath = "testdata/golden_equiv.json"
 
 // goldenHorizonHours keeps each matrix cell fast while still processing
 // tens of thousands of engine events.
@@ -233,14 +234,7 @@ func TestGoldenEquivalence(t *testing.T) {
 		return
 	}
 
-	data, err := os.ReadFile(goldenEquivPath)
-	if err != nil {
-		t.Fatalf("read fixtures (run with -update-golden to create): %v", err)
-	}
-	var want []goldenEntry
-	if err := json.Unmarshal(data, &want); err != nil {
-		t.Fatal(err)
-	}
+	want := loadGoldenFixtures(t)
 	seen := make(map[string]bool, len(want))
 	for _, w := range want {
 		seen[w.Name] = true
@@ -249,18 +243,11 @@ func TestGoldenEquivalence(t *testing.T) {
 			t.Errorf("%s: fixture present but scenario missing from matrix", w.Name)
 			continue
 		}
-		if g != w.Result {
-			t.Errorf("%s: result diverged from pre-refactor fixture\n got %+v\nwant %+v", w.Name, g, w.Result)
-		}
+		matchGolden(t, w.Name, g, w.Result)
 	}
 	for n := range got {
 		if !seen[n] {
 			t.Errorf("%s: scenario has no fixture (run -update-golden)", n)
 		}
 	}
-}
-
-type goldenEntry struct {
-	Name   string
-	Result Result
 }

@@ -1,0 +1,56 @@
+package semicont
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Shared golden-fixture plumbing: TestGoldenEquivalence pins the serial
+// engine to the checked-in results, and the shard-determinism suite
+// pins the sharded engine to the very same bytes, so the two suites
+// must load and compare fixtures identically.
+
+const goldenEquivPath = "testdata/golden_equiv.json"
+
+type goldenEntry struct {
+	Name   string
+	Result Result
+}
+
+// loadGoldenFixtures reads and decodes the checked-in fixture file.
+// JSON float encoding uses the shortest round-trippable representation,
+// so decoded fixtures compare exactly with ==.
+func loadGoldenFixtures(t testing.TB) []goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenEquivPath)
+	if err != nil {
+		t.Fatalf("read fixtures (run with -update-golden to create): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// goldenFixtureMap indexes the fixtures by cell name.
+func goldenFixtureMap(t testing.TB) map[string]Result {
+	t.Helper()
+	entries := loadGoldenFixtures(t)
+	m := make(map[string]Result, len(entries))
+	for _, e := range entries {
+		m[e.Name] = e.Result
+	}
+	return m
+}
+
+// matchGolden demands that a run's Result equals its fixture
+// bit-for-bit; label names the run in the failure (cell name, plus the
+// shard count in the determinism suite).
+func matchGolden(t testing.TB, label string, got, want Result) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: result diverged from fixture\n got %+v\nwant %+v", label, got, want)
+	}
+}

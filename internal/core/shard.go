@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"semicont/internal/simtime"
+	"semicont/internal/stats"
+)
+
+// Sharded execution: within-run parallelism with a deterministic merge.
+//
+// The engine's event population is dominated by evServerWake — the
+// per-server allocation clock — and a wake reads and writes only its
+// own server's state (its lane arrays, its active/copy lists, its
+// allocator scratch). Every other event kind (arrivals, admission
+// retries, DRM rescues, replication starts, faults, brownouts, viewer
+// interaction, park ticks) is "global": its handler may touch any
+// server, the controller state, or the request maps. Config.Shards
+// exploits this split: servers are partitioned into contiguous shards,
+// each with its own wake queue, and shards advance concurrently through
+// bounded optimistic windows between global events.
+//
+// The contract is bit-identical output at every shard count. The serial
+// engine's behaviour is fully determined by the order it handles
+// events — the (time, seq) key of the future event list — so sharded
+// execution reproduces that order exactly:
+//
+//   - Sequence numbers come from one engine-owned counter (seqSrc)
+//     instead of the queue-private counter, so the keys of events
+//     spread across K+1 queues (the parent's global queue plus one wake
+//     queue per shard) still form a single total order. Every push site
+//     assigns seqs in the same relative order the serial engine's
+//     pushes would have, so time ties break identically (see the proof
+//     sketch in DESIGN.md §14).
+//
+//   - A window runs one shard up to the horizon (ht, hseq) — the key of
+//     the earliest pending global event. The shard handles its queued
+//     wakes with key < horizon, plus any wakes *born* inside the window
+//     (a handled wake's reschedule) with time strictly < ht. Births
+//     have no seq yet; they are ordered after every pre-window event at
+//     equal times (main wins ties) and after the horizon event at time
+//     ht (strictly-less eligibility), exactly where their
+//     later-assigned seqs will place them.
+//
+//   - Wakes never cross shards (a reschedule targets the server being
+//     handled), so windows on disjoint shards handle disjoint,
+//     causally independent event sets: running them concurrently
+//     cannot change what any single window does.
+//
+//   - Effects that touch shared or order-sensitive state are not
+//     applied in the window. Each window appends a log of (key →
+//     deferred effects): requests that finished (their float
+//     DeliveredBytes sum and freelist recycle), copies that completed
+//     (controller holder/storage bookkeeping), and the wake each event
+//     rebirthed. After the windows join, a K-way merge replays those
+//     effects on the parent in global (time, seq) order and assigns
+//     each birth its seq from seqSrc at exactly the position the serial
+//     engine's push would have — then the pending global event is
+//     handled on the parent, and the cycle repeats.
+//
+// Order-insensitive accumulation needs no deferral: int64 counters land
+// in each replica's Metrics and are summed at the end of the run, and
+// observation channels accumulate into per-shard stats.Sketch instances
+// whose Merge is bit-for-bit order-independent. Float metrics must stay
+// replica-zero; mergeShardResults enforces that with a panic so a new
+// order-sensitive field cannot slip through silently.
+//
+// Runs that inspect cross-server state at every event — an attached
+// auditor or observer, CheckInvariants, or a non-Sketch accumulator —
+// cannot defer effects and instead run in lockstep: the serial Step
+// loop with popEvent replaced by a K+1-way merged pop (popMerged),
+// which is the serial engine with the event list merely partitioned.
+// Golden fixtures with Audit set pin that path at every shard count.
+
+// birth is a wake scheduled inside a window. Its seq is assigned at
+// commit time, when the event that scheduled it is replayed on the
+// parent; consumed births were already handled inside the window and
+// are not re-queued.
+type birth struct {
+	t        float64
+	seq      uint64
+	ev       event
+	consumed bool
+}
+
+// logEntry records one in-window event that produced deferred effects.
+// Its merge key is (t, seq) for an event popped from the shard's main
+// queue (born < 0), or (t, births[born].seq) for a window-born event —
+// resolvable by commit time because the entry that created the birth
+// precedes it in the same log. finished[fin0:fin1] and
+// copiesDone[cp0:cp1] are the effects; birth is the wake this event
+// scheduled (-1 if none).
+type logEntry struct {
+	t          float64
+	seq        uint64
+	born       int32
+	birth      int32
+	fin0, fin1 int32
+	cp0, cp1   int32
+}
+
+// shardState is one shard: a contiguous server range, its wake queue,
+// its replica engine, and the per-window log.
+type shardState struct {
+	eng *Engine // replica: shares servers/catalog/layout, owns scratch
+
+	// main holds the shard's pending wakes with assigned seqs — routed
+	// here by the parent's push/holdWake and by window commits.
+	main simtime.Queue[event]
+
+	// win orders the current window's unconsumed births (payload: index
+	// into births). Its private FIFO tie-break matches birth creation
+	// order, which is the order their seqs are later assigned in.
+	win simtime.Queue[int32]
+
+	births     []birth
+	log        []logEntry
+	finished   []*request // deferred finish effects, in handling order
+	copiesDone []*copyJob // deferred copy-completion effects
+
+	lo, hi   int // owned server id range [lo, hi)
+	cur      int // commit cursor into log
+	curBirth int32
+
+	// Per-window dispatch state, owned by the parent between windows.
+	ht         float64
+	hseq       uint64
+	dispatched bool
+	err        any
+	work       chan struct{}
+}
+
+// shardSet is the engine's sharding machinery; nil on serial engines.
+type shardSet struct {
+	shards  []shardState
+	owner   []int32 // server id → shard index
+	workers sync.WaitGroup
+	windows sync.WaitGroup
+}
+
+// ensureShards arms (or disarms) sharded execution for the freshly
+// Reset configuration. Called at the end of Engine.Reset, before any
+// Schedule* push, so seqSrc numbers every event of the run. Shard
+// structures and replica engines are reused across Resets.
+func (e *Engine) ensureShards() {
+	e.seqSrc = 0
+	e.shlog = nil
+	k := e.cfg.Shards
+	if k > len(e.servers) {
+		k = len(e.servers)
+	}
+	if k <= 1 {
+		e.sh = nil // pure serial: the hot path pays only nil checks
+		return
+	}
+	if e.sh == nil {
+		e.sh = new(shardSet)
+	}
+	sh := e.sh
+	if cap(sh.shards) < k {
+		grown := make([]shardState, k)
+		copy(grown, sh.shards)
+		sh.shards = grown
+	} else {
+		sh.shards = sh.shards[:k]
+	}
+	n := len(e.servers)
+	if cap(sh.owner) < n {
+		sh.owner = make([]int32, n)
+	} else {
+		sh.owner = sh.owner[:n]
+	}
+	for i := range sh.shards {
+		ss := &sh.shards[i]
+		ss.lo, ss.hi = i*n/k, (i+1)*n/k
+		for sid := ss.lo; sid < ss.hi; sid++ {
+			sh.owner[sid] = int32(i)
+		}
+		ss.main.Reset()
+		ss.resetLog()
+		if ss.eng == nil {
+			ss.eng = new(Engine)
+			ss.eng.discardObs()
+		}
+		// Replicas are re-pointed every Reset: sh.shards may have been
+		// reallocated, and the replica must never be sharded itself.
+		ss.eng.sh = nil
+		ss.eng.shlog = ss
+	}
+}
+
+// lockstepRequired reports whether this run must execute in lockstep
+// (merged-pop serial order) rather than parallel windows: any attached
+// instrumentation that inspects cross-server state per event, or an
+// observation accumulator whose merge is not order-independent.
+func (e *Engine) lockstepRequired() bool {
+	if e.audit != nil || e.obs != nil || e.cfg.CheckInvariants {
+		return true
+	}
+	for _, a := range e.obsAcc {
+		if a == stats.Discard {
+			continue
+		}
+		if _, ok := a.(*stats.Sketch); !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// popMerged is popEvent over the partitioned event list: the earliest
+// (time, seq) key across the parent queue and every shard's wake queue.
+// All queues share the seqSrc counter, so the merged order is exactly
+// the single-queue order.
+func (e *Engine) popMerged() (float64, event, bool) {
+	bt, bseq, bok := e.events.PeekKey()
+	best := -1
+	for i := range e.sh.shards {
+		st, sseq, sok := e.sh.shards[i].main.PeekKey()
+		if sok && (!bok || st < bt || (st == bt && sseq < bseq)) {
+			bt, bseq, bok = st, sseq, true
+			best = i
+		}
+	}
+	if !bok {
+		return 0, event{}, false
+	}
+	if best < 0 {
+		t, ev, _ := e.events.Pop()
+		return t, ev, true
+	}
+	t, ev, _ := e.sh.shards[best].main.Pop()
+	return t, ev, true
+}
+
+// eligible reports whether the shard has a queued wake before the
+// horizon key.
+func (ss *shardState) eligible(ht float64, hseq uint64) bool {
+	mt, mseq, ok := ss.main.PeekKey()
+	return ok && (mt < ht || (mt == ht && mseq < hseq))
+}
+
+// recordBirth captures a wake scheduled by the event the replica is
+// currently handling. It is holdWake's window mode: instead of touching
+// any heap the parent owns, the wake joins the window's birth list and
+// its in-window order book (win).
+func (ss *shardState) recordBirth(t float64, ev event) {
+	if ss.curBirth >= 0 {
+		panic("core: one shard event scheduled two wakes")
+	}
+	bi := int32(len(ss.births))
+	ss.births = append(ss.births, birth{t: t, ev: ev})
+	ss.win.Push(t, bi)
+	ss.curBirth = bi
+}
+
+// runWindow advances the shard to its horizon: every queued wake with
+// key < (ht, hseq) plus every window-born wake with time strictly
+// below ht, in exactly the order the serial engine would handle them.
+// On a time tie a queued wake beats a born one (every pre-window seq
+// precedes every birth's commit-assigned seq), and a born wake at
+// exactly ht is left for the next window (its seq will follow hseq).
+func (ss *shardState) runWindow() {
+	rep := ss.eng
+	for {
+		mt, mseq, mok := ss.main.PeekKey()
+		if mok && !(mt < ss.ht || (mt == ss.ht && mseq < ss.hseq)) {
+			mok = false
+		}
+		wt, wok := ss.win.Peek()
+		if wok && wt >= ss.ht {
+			wok = false
+		}
+		if !mok && !wok {
+			return
+		}
+		var en logEntry
+		en.fin0 = int32(len(ss.finished))
+		en.cp0 = int32(len(ss.copiesDone))
+		ss.curBirth = -1
+		if mok && (!wok || mt <= wt) {
+			t, ev, _ := ss.main.Pop()
+			en.t, en.seq, en.born = t, mseq, -1
+			rep.now = t
+			rep.handleWake(rep.servers[ev.server], ev.version, t)
+		} else {
+			_, bi, _ := ss.win.Pop()
+			b := &ss.births[bi]
+			b.consumed = true
+			en.t, en.born = b.t, bi
+			rep.now = b.t
+			rep.handleWake(rep.servers[b.ev.server], b.ev.version, b.t)
+		}
+		en.fin1 = int32(len(ss.finished))
+		en.cp1 = int32(len(ss.copiesDone))
+		en.birth = ss.curBirth
+		// Events with no deferred effects (stale wakes, reschedules of
+		// an emptied server) need no commit replay and log nothing.
+		if en.fin1 > en.fin0 || en.cp1 > en.cp0 || en.birth >= 0 {
+			ss.log = append(ss.log, en)
+		}
+	}
+}
+
+// runWindowSafe runs the window capturing any panic so a worker
+// goroutine never crashes the process on its own; the parent re-raises
+// after the windows join.
+func (ss *shardState) runWindowSafe() {
+	defer func() {
+		if r := recover(); r != nil {
+			ss.err = r
+		}
+	}()
+	ss.runWindow()
+}
+
+// resetLog clears the per-window state. win must be reset too: births
+// left unconsumed at the horizon still sit in it.
+func (ss *shardState) resetLog() {
+	ss.log = ss.log[:0]
+	clearRequests(ss.finished)
+	ss.finished = ss.finished[:0]
+	clearCopies(ss.copiesDone)
+	ss.copiesDone = ss.copiesDone[:0]
+	ss.births = ss.births[:0]
+	ss.win.Reset()
+	ss.cur = 0
+	ss.curBirth = -1
+}
+
+// commitWindows replays the joined windows' deferred effects on the
+// parent in global (time, seq) order — a K-way merge over the per-shard
+// logs, each already sorted by its entries' final keys. Reaching an
+// entry assigns its birth the next seq (matching the position of the
+// serial engine's push) and routes the birth to the shard's wake queue
+// unless the window already consumed it; a consumed birth still takes
+// its seq so later entries keyed on it resolve, and so the counter
+// tracks the serial engine's push sequence one-for-one.
+func (e *Engine) commitWindows() {
+	sh := e.sh
+	for {
+		best := -1
+		var bt float64
+		var bseq uint64
+		for i := range sh.shards {
+			ss := &sh.shards[i]
+			if ss.cur >= len(ss.log) {
+				continue
+			}
+			en := &ss.log[ss.cur]
+			seq := en.seq
+			if en.born >= 0 {
+				seq = ss.births[en.born].seq
+			}
+			if best < 0 || en.t < bt || (en.t == bt && seq < bseq) {
+				best, bt, bseq = i, en.t, seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ss := &sh.shards[best]
+		en := &ss.log[ss.cur]
+		ss.cur++
+		for _, r := range ss.finished[en.fin0:en.fin1] {
+			e.metrics.DeliveredBytes += r.carrySent
+			e.recycle(r)
+		}
+		for _, c := range ss.copiesDone[en.cp0:en.cp1] {
+			e.commitCopyDone(c, en.t)
+		}
+		if en.birth >= 0 {
+			b := &ss.births[en.birth]
+			e.seqSrc++
+			b.seq = e.seqSrc
+			if !b.consumed {
+				ss.main.PushSeq(b.t, b.seq, b.ev)
+			}
+		}
+	}
+	for i := range sh.shards {
+		ss := &sh.shards[i]
+		if ss.dispatched {
+			if ss.eng.now > e.now {
+				e.now = ss.eng.now
+			}
+			ss.resetLog()
+		}
+	}
+}
+
+// syncReplicas refreshes each replica for this run: the shared
+// read-only plumbing, a zero Metrics, per-shard observation sinks, and
+// a fresh lazy allocator (allocators may carry per-engine scratch).
+func (e *Engine) syncReplicas() {
+	for i := range e.sh.shards {
+		rep := e.sh.shards[i].eng
+		rep.cfg = e.cfg
+		rep.cat, rep.layout = e.cat, e.layout
+		rep.servers = e.servers
+		rep.metrics = Metrics{}
+		rep.alloc = nil
+		rep.now = e.now
+		rep.spareMisorder = e.spareMisorder
+		rep.wakeSkew = e.wakeSkew
+		for k, a := range e.obsAcc {
+			if _, ok := a.(*stats.Sketch); !ok {
+				rep.obsAcc[k] = stats.Discard
+				continue
+			}
+			sk, ok := rep.obsAcc[k].(*stats.Sketch)
+			if !ok {
+				sk = new(stats.Sketch)
+			}
+			sk.Reset()
+			rep.obsAcc[k] = sk
+		}
+	}
+}
+
+// startWorkers launches one goroutine per shard for the run; each waits
+// for a window dispatch. The channels are per-run, the goroutines exit
+// on stopWorkers.
+func (sh *shardSet) startWorkers() {
+	for i := range sh.shards {
+		ss := &sh.shards[i]
+		ss.work = make(chan struct{}, 1)
+		sh.workers.Add(1)
+		go func() {
+			defer sh.workers.Done()
+			for range ss.work {
+				ss.runWindowSafe()
+				sh.windows.Done()
+			}
+		}()
+	}
+}
+
+func (sh *shardSet) stopWorkers() {
+	for i := range sh.shards {
+		close(sh.shards[i].work)
+	}
+	sh.workers.Wait()
+}
+
+// runShardedParallel is the sharded Run loop: find the next global
+// event's key, run every shard with pending work up to that horizon
+// concurrently, merge-commit their effects, then handle the global
+// event on the parent. A single eligible shard runs inline — no
+// dispatch round-trip — which is also what keeps one-shard-of-work
+// phases cheap.
+func (e *Engine) runShardedParallel() {
+	sh := e.sh
+	e.syncReplicas()
+	sh.startWorkers()
+	defer sh.stopWorkers()
+	for {
+		ht, hseq, hok := e.events.PeekKey()
+		if !hok {
+			// No global events left: a final unbounded window drains the
+			// shards completely.
+			ht, hseq = math.Inf(1), ^uint64(0)
+		}
+		n, last := 0, -1
+		for i := range sh.shards {
+			ss := &sh.shards[i]
+			ss.dispatched = false
+			if ss.eligible(ht, hseq) {
+				ss.ht, ss.hseq = ht, hseq
+				ss.dispatched = true
+				n++
+				last = i
+			}
+		}
+		if n == 0 && !hok {
+			return
+		}
+		switch {
+		case n == 1:
+			sh.shards[last].runWindowSafe()
+		case n > 1:
+			sh.windows.Add(n)
+			for i := range sh.shards {
+				if sh.shards[i].dispatched {
+					sh.shards[i].work <- struct{}{}
+				}
+			}
+			sh.windows.Wait()
+		}
+		for i := range sh.shards {
+			ss := &sh.shards[i]
+			if ss.dispatched && ss.err != nil {
+				err := ss.err
+				ss.err = nil
+				panic(err)
+			}
+		}
+		if n > 0 {
+			e.commitWindows()
+		}
+		if hok {
+			t, ev, _ := e.events.Pop()
+			if t > e.now {
+				e.now = t
+			}
+			e.dispatch(ev)
+		}
+	}
+}
+
+// mergeShardResults folds each replica's order-independent accumulation
+// into the parent after the run: int64 counters (and int64 arrays) add;
+// observation sketches merge in shard order (bit-identical regardless —
+// Sketch.Merge is commutative and associative to the bit). Float fields
+// are order-sensitive sums that must have been deferred through the
+// commit path, so a nonzero replica float is a sharding bug worth a
+// panic, as is any field kind this merge does not recognize.
+func (e *Engine) mergeShardResults() {
+	dst := reflect.ValueOf(&e.metrics).Elem()
+	for i := range e.sh.shards {
+		rep := e.sh.shards[i].eng
+		src := reflect.ValueOf(&rep.metrics).Elem()
+		for f := 0; f < dst.NumField(); f++ {
+			d, s := dst.Field(f), src.Field(f)
+			name := dst.Type().Field(f).Name
+			switch d.Kind() {
+			case reflect.Int64:
+				d.SetInt(d.Int() + s.Int())
+			case reflect.Array:
+				if d.Type().Elem().Kind() != reflect.Int64 {
+					panic(fmt.Sprintf("core: Metrics.%s: array of %s not mergeable across shards", name, d.Type().Elem().Kind()))
+				}
+				for j := 0; j < d.Len(); j++ {
+					d.Index(j).SetInt(d.Index(j).Int() + s.Index(j).Int())
+				}
+			case reflect.Float64:
+				if s.Float() != 0 {
+					panic(fmt.Sprintf("core: Metrics.%s accumulated %g on a shard replica; float sums are order-sensitive and must defer to the window commit", name, s.Float()))
+				}
+			case reflect.Int:
+				if s.Int() != 0 {
+					panic(fmt.Sprintf("core: Metrics.%s = %d on a shard replica; wake handling must not touch it", name, s.Int()))
+				}
+			default:
+				panic(fmt.Sprintf("core: Metrics.%s: kind %s not covered by the shard merge — teach mergeShardResults about it", name, d.Kind()))
+			}
+		}
+		for k := range e.obsAcc {
+			if sk, ok := e.obsAcc[k].(*stats.Sketch); ok {
+				sk.Merge(rep.obsAcc[k].(*stats.Sketch))
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResetEquivalenceSharded extends the engine-reuse contract across
+// the sharded engine: one reused engine alternates between serial and
+// sharded configurations of the kitchen-sink scenarios, and every run's
+// metrics must equal a fresh serial engine's — which pins both the
+// Reset arm/disarm transitions and, in the same stroke, sharded-versus-
+// serial determinism at the core layer (invariant checking is turned
+// off so even-numbered shard counts take the parallel window path, odd
+// runs keep it on to pin the lockstep merge).
+func TestResetEquivalenceSharded(t *testing.T) {
+	reused := new(Engine)
+	shardPlan := []int{2, 0, 4, 3, 8, 1, 2, 5}
+	for i, seed := range []uint64{1, 2, 3, 7, 11, 23, 42, 99} {
+		cfg, cat, lay, mkSrc := kitchenSinkParts(t, seed)
+		shards := shardPlan[i]
+		cfg.CheckInvariants = shards%2 == 1 // even counts → parallel windows
+
+		serial := cfg
+		serial.Shards = 0
+		serial.CheckInvariants = false
+		fresh, err := NewEngine(serial, cat, lay, mkSrc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards = shards
+		if err := reused.Reset(cfg, cat, lay, mkSrc()); err != nil {
+			t.Fatal(err)
+		}
+		if seed%2 == 1 {
+			id := int(seed) % len(cfg.ServerBandwidth)
+			for _, e := range []*Engine{fresh, reused} {
+				if err := e.ScheduleFailure(600, id); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.ScheduleRecovery(1200, id, seed%4 == 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		mf, errF := fresh.Run(1800)
+		mr, errR := reused.Run(1800)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("seed %d: fresh err %v, reused err %v", seed, errF, errR)
+		}
+		if errF != nil {
+			continue
+		}
+		if *mf != *mr {
+			t.Errorf("seed %d shards %d: metrics diverge from serial\nserial:  %+v\nsharded: %+v", seed, shards, *mf, *mr)
+		}
+	}
+}
+
+// TestResetClearsShardState walks shardState by reflection, in the
+// TestResetClearsLanes mold, so the check cannot silently rot: every
+// per-run container must be empty after Reset, the cursors back at
+// their initial values, and any field this test does not recognize
+// fails it outright — adding shard-local state without teaching
+// ensureShards/resetLog (and this test) about it is a leak waiting for
+// the next reused run.
+func TestResetClearsShardState(t *testing.T) {
+	cfg, cat, lay, mkSrc := kitchenSinkParts(t, 7)
+	cfg.CheckInvariants = false // take the parallel window path
+	cfg.Shards = 3
+	e, err := NewEngine(cfg, cat, lay, mkSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(1800); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(cfg, cat, lay, mkSrc()); err != nil {
+		t.Fatal(err)
+	}
+	if e.sh == nil {
+		t.Fatal("Shards=3 engine has no shard set after Reset")
+	}
+	if e.seqSrc != 0 {
+		t.Errorf("seqSrc = %d after Reset, want 0", e.seqSrc)
+	}
+	for si := range e.sh.shards {
+		ss := &e.sh.shards[si]
+		tp := reflect.TypeOf(*ss)
+		for fi := 0; fi < tp.NumField(); fi++ {
+			switch f := tp.Field(fi); f.Name {
+			case "eng":
+				switch {
+				case ss.eng == nil:
+					t.Fatalf("shard %d: nil replica engine after Reset", si)
+				case ss.eng.shlog != ss:
+					t.Errorf("shard %d: replica's shlog does not point back at its shard", si)
+				case ss.eng.sh != nil:
+					t.Errorf("shard %d: replica engine is itself sharded", si)
+				}
+			case "main":
+				if n := ss.main.Len(); n != 0 {
+					t.Errorf("shard %d: %d events queued after Reset", si, n)
+				}
+			case "win":
+				if n := ss.win.Len(); n != 0 {
+					t.Errorf("shard %d: %d window births queued after Reset", si, n)
+				}
+			case "births", "log", "finished", "copiesDone":
+				if n := reflect.ValueOf(*ss).Field(fi).Len(); n != 0 {
+					t.Errorf("shard %d: %s has %d entries after Reset", si, f.Name, n)
+				}
+			case "lo", "hi":
+				if ss.lo < 0 || ss.hi > len(e.servers) || ss.lo >= ss.hi {
+					t.Errorf("shard %d: owner range [%d, %d) invalid for %d servers", si, ss.lo, ss.hi, len(e.servers))
+				}
+			case "cur":
+				if ss.cur != 0 {
+					t.Errorf("shard %d: commit cursor %d after Reset, want 0", si, ss.cur)
+				}
+			case "curBirth":
+				if ss.curBirth != -1 {
+					t.Errorf("shard %d: curBirth %d after Reset, want -1", si, ss.curBirth)
+				}
+			case "err":
+				if ss.err != nil {
+					t.Errorf("shard %d: captured panic %v survived Reset", si, ss.err)
+				}
+			case "ht", "hseq", "dispatched", "work":
+				// Per-window dispatch state, fully rewritten by the
+				// parent before every window; no reset obligation.
+			default:
+				t.Errorf("shardState.%s: field not covered by this test — extend ensureShards/resetLog and the cases above", f.Name)
+			}
+		}
+	}
+	// Disarming must drop the shard set so the serial fast path has no
+	// merge overhead left to pay.
+	cfg.Shards = 0
+	if err := e.Reset(cfg, cat, lay, mkSrc()); err != nil {
+		t.Fatal(err)
+	}
+	if e.sh != nil {
+		t.Error("Shards=0 Reset left the engine sharded")
+	}
+}

@@ -1,0 +1,76 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPushSeqMergeOrder pins the property the sharded engine builds on:
+// events spread over several queues via PushSeq under one shared
+// counter, then drained by repeatedly popping the queue whose PeekKey
+// is smallest, come out in exactly the order a single Push-fed queue
+// delivers them.
+func TestPushSeqMergeOrder(t *testing.T) {
+	const parts = 4
+	r := rand.New(rand.NewSource(11))
+	var single Queue[int]
+	var split [parts]Queue[int]
+	var seq uint64
+	for i := 0; i < 500; i++ {
+		tm := float64(r.Intn(40)) // dense ties
+		single.Push(tm, i)
+		seq++
+		split[r.Intn(parts)].PushSeq(tm, seq, i)
+	}
+	for n := 0; ; n++ {
+		best := -1
+		var bt float64
+		var bseq uint64
+		for q := range split {
+			st, sseq, ok := split[q].PeekKey()
+			if ok && (best < 0 || st < bt || (st == bt && sseq < bseq)) {
+				best, bt, bseq = q, st, sseq
+			}
+		}
+		wt, wv, wok := single.Pop()
+		if best < 0 {
+			if wok {
+				t.Fatalf("merge drained after %d events, single queue still has (%g, %d)", n, wt, wv)
+			}
+			return
+		}
+		gt, gv, _ := split[best].Pop()
+		if !wok {
+			t.Fatalf("single queue drained after %d events, merge still has (%g, %d)", n, gt, gv)
+		}
+		if gt != wt || gv != wv {
+			t.Fatalf("event %d: merged pop (%g, %d), single-queue pop (%g, %d)", n, gt, gv, wt, wv)
+		}
+	}
+}
+
+// TestPeekKeyMatchesPop checks PeekKey reports the key of exactly the
+// event Pop then removes, and the empty-queue contract.
+func TestPeekKeyMatchesPop(t *testing.T) {
+	var q Queue[string]
+	if _, _, ok := q.PeekKey(); ok {
+		t.Fatal("PeekKey reported an event on an empty queue")
+	}
+	q.Push(3, "late")
+	q.Push(1, "a")
+	q.Push(1, "b") // FIFO tie: seq orders a before b
+	wantSeqs := []uint64{2, 3, 1}
+	for i, want := range []string{"a", "b", "late"} {
+		pt, pseq, ok := q.PeekKey()
+		if !ok {
+			t.Fatalf("event %d: PeekKey on non-empty queue reported empty", i)
+		}
+		if pseq != wantSeqs[i] {
+			t.Fatalf("event %d: PeekKey seq %d, want %d", i, pseq, wantSeqs[i])
+		}
+		gt, gv, _ := q.Pop()
+		if gt != pt || gv != want {
+			t.Fatalf("event %d: PeekKey (%g) then Pop (%g, %q), want %q", i, pt, gt, gv, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package semicont
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Shard benchmarks: the 200-server scale cell — the regime ISSUE 9's
+// refactor targets — run serial and at each shard count. On a multicore
+// host the sharded rows should approach wall/shards for the wake-
+// dominated fraction of the run; on a 1-hardware-thread host (like the
+// container BENCH_shard.json was recorded on) they can only show the
+// merge's overhead, which is the honest number to pin here either way.
+
+// shardBenchCell keeps each measured run large enough to dwarf timer
+// noise but benchable: ~10^5 requests over 200 servers, full
+// fault-tolerance stack, Stats on (sketch channels are
+// shard-mergeable, so the parallel path stays engaged).
+func shardBenchCell(shards int) Scenario {
+	sc := scaleCell(200, 2)
+	sc.Shards = shards
+	return sc
+}
+
+// BenchmarkShardScale measures the end-to-end scale cell at each shard
+// count; the shards=0 row is the serial engine the others are judged
+// against.
+func BenchmarkShardScale(b *testing.B) {
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc := shardBenchCell(shards)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordShardBench writes BENCH_shard.json: wall clock of the scale
+// cell serial and at shards ∈ {1,2,4,8}, each the best of rounds
+// interleaved across configurations (this host's run-to-run variance
+// makes single runs meaningless), plus the host fingerprint the CI
+// bench-smoke job records beside every BENCH_*.json. Gated behind
+// SEMICONT_SHARD_BENCH=1; results also double as a determinism check —
+// every configuration must report identical arrivals and completions.
+func TestRecordShardBench(t *testing.T) {
+	if os.Getenv("SEMICONT_SHARD_BENCH") == "" {
+		t.Skip("set SEMICONT_SHARD_BENCH=1 to record BENCH_shard.json")
+	}
+	const rounds = 5
+	counts := []int{0, 1, 2, 4, 8}
+	best := make(map[int]float64, len(counts))
+	var arrivals, completions int64
+	for r := 0; r < rounds; r++ {
+		for _, shards := range counts {
+			sc := shardBenchCell(shards)
+			runtime.GC()
+			start := time.Now()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wall := time.Since(start).Seconds()
+			if w, ok := best[shards]; !ok || wall < w {
+				best[shards] = wall
+			}
+			if arrivals == 0 {
+				arrivals, completions = res.Arrivals, res.Completions
+			} else if res.Arrivals != arrivals || res.Completions != completions {
+				t.Fatalf("shards=%d: %d arrivals / %d completions, serial saw %d / %d — determinism broken",
+					shards, res.Arrivals, res.Completions, arrivals, completions)
+			}
+		}
+	}
+	doc := map[string]any{
+		"note": fmt.Sprintf("Sharded-engine baseline for the within-run parallelism PR: the 200-server scale cell "+
+			"(full fault-tolerance stack, 0.9 load, Stats on, %d requests) run serial (shards=0) and at shards 1/2/4/8. "+
+			"MEASUREMENT METHODOLOGY: this host shows up to +/-40%% run-to-run variance on identical binaries, so each row "+
+			"is the best of %d rounds interleaved across configurations. IMPORTANT HOST CAVEAT: this container exposes "+
+			"exactly 1 hardware thread (GOMAXPROCS=1), so the sharded rows CANNOT show real scaling — at best they tie "+
+			"serial plus the merge overhead, and that overhead is what these numbers pin. On an N-core host the window "+
+			"phase parallelizes across shards (wake handling dominates this cell); re-record there and keep the "+
+			"companion bench-host.txt fingerprint (vodsim -bench-host) next to the refreshed file. Every configuration "+
+			"reported identical arrivals and completions (the determinism contract, also pinned bit-exactly by "+
+			"TestShardDeterminism over the golden matrix).", arrivals, rounds),
+		"go":               runtime.Version(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"hardware_threads": runtime.NumCPU(),
+		"benchmarks": map[string]any{
+			"ShardScale/serial":   map[string]float64{"wall_s": best[0]},
+			"ShardScale/shards=1": map[string]float64{"wall_s": best[1]},
+			"ShardScale/shards=2": map[string]float64{"wall_s": best[2]},
+			"ShardScale/shards=4": map[string]float64{"wall_s": best[4]},
+			"ShardScale/shards=8": map[string]float64{"wall_s": best[8]},
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range counts {
+		t.Logf("shards=%d: best wall %.3fs over %d rounds", shards, best[shards], rounds)
+	}
+}

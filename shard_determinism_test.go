@@ -1,0 +1,68 @@
+package semicont
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardCounts is the determinism matrix ISSUE 9 pins: 1 exercises the
+// serial fallback, 2 and 4 partition the small system's five servers
+// unevenly, and 8 exceeds the server count so the cap-at-NumServers
+// rule rides the suite too.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardDeterminism runs every golden cell at every shard count and
+// demands the checked-in serial fixture bit-for-bit. The audited cells
+// pin the lockstep (merged serial order) path; the bare cells pin the
+// parallel window/commit path — both against results captured from the
+// pre-shard engine.
+func TestShardDeterminism(t *testing.T) {
+	fixtures := goldenFixtureMap(t)
+	for _, shards := range shardCounts {
+		for _, cell := range goldenMatrix() {
+			sc := cell.Sc
+			sc.Shards = shards
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("%s@shards=%d: %v", cell.Name, shards, err)
+			}
+			want, ok := fixtures[cell.Name]
+			if !ok {
+				t.Fatalf("%s: no fixture", cell.Name)
+			}
+			matchGolden(t, fmt.Sprintf("%s@shards=%d", cell.Name, shards), *res, want)
+		}
+	}
+}
+
+// TestShardDeterminismStats covers the one result surface the fixtures
+// cannot (Dist is deliberately excluded from == comparison): a Stats
+// run's quantile sketches must also be bit-identical at every shard
+// count. Parallel windows observe migrations and glitches into
+// per-shard sketches merged at end of run, so this pins that merge
+// against the serial accumulation order.
+func TestShardDeterminismStats(t *testing.T) {
+	base := goldenMatrix()[5].Sc // drm-hops1: migrations populate the sketch
+	base.Stats = true
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Dist == nil || serial.Dist.Migrations.N() == 0 {
+		t.Fatal("baseline run recorded no migration observations; the test would pin nothing")
+	}
+	for _, shards := range shardCounts {
+		sc := base
+		sc.Shards = shards
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, want := *res, *serial
+		got.Dist, want.Dist = nil, nil
+		matchGolden(t, fmt.Sprintf("stats@shards=%d", shards), got, want)
+		if !res.Dist.Equal(serial.Dist) {
+			t.Errorf("shards=%d: distribution sketches diverged from serial:\n got %vwant %v", shards, res.Dist, serial.Dist)
+		}
+	}
+}
