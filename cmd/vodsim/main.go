@@ -10,6 +10,7 @@
 //	vodsim -system small -policy P3 -fail-at 50 -fail-server 2
 //	vodsim -system small -policy P4 -trace events.csv -hours 2
 //	vodsim -system small -policy P4 -admission first-fit -planner direct-only
+//	vodsim -system small -staging 0.2 -edge-nodes 2 -prefix-sec 900 -edge-cache-mb 96000 -batch-policy batch-prefix -batch-window 300
 //	vodsim -experiment fault-sweep-small -parallel 8 -hours 20
 //	vodsim -experiment all -trials 5 -hours 100
 //	vodsim -system small -policy P4 -trials 5 -cpuprofile cpu.out
@@ -55,6 +56,14 @@ func main() {
 		replicate = flag.Bool("replicate", false, "dynamic replication on rejection")
 		copyRate  = flag.Float64("copy-rate", 0, "replication copy rate cap, Mb/s (0 = 2x view rate)")
 		patchWin  = flag.Float64("patch-window", 0, "multicast patch window, seconds (0 = off)")
+		edgeNodes = flag.Int("edge-nodes", 0, "edge/proxy nodes holding video prefixes in front of the cluster (0 = no edge tier)")
+		prefixSec = flag.Float64("prefix-sec", 0, "edge-cached prefix length per video, seconds of playback (requires -edge-nodes)")
+		edgeCache = flag.Float64("edge-cache-mb", 0, "per-node edge cache byte budget, Mb (requires -edge-nodes)")
+		edgePol   = flag.String("edge-cache-policy", "", "edge prefix-cache policy by registry name (see -list-edge-caches; empty = static-zipf)")
+		listEdge  = flag.Bool("list-edge-caches", false, "list registered edge prefix-cache policies and exit")
+		batchPol  = flag.String("batch-policy", "", `multicast batching policy by registry name (see -list-batch-policies; empty = "patch" with -patch-window, else "unicast")`)
+		batchWin  = flag.Float64("batch-window", 0, "batching window for -batch-policy, seconds")
+		listBatch = flag.Bool("list-batch-policies", false, "list registered multicast batching policies and exit")
 		pauseProb = flag.Float64("pause-prob", 0, "probability a viewer pauses once")
 		pauseMin  = flag.Float64("pause-min", 60, "shortest viewer pause, seconds")
 		pauseMax  = flag.Float64("pause-max", 540, "longest viewer pause, seconds")
@@ -115,6 +124,18 @@ func main() {
 	}
 	if *listPlan {
 		for _, name := range semicont.PlannerNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listEdge {
+		for _, name := range semicont.EdgeCachePolicyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listBatch {
+		for _, name := range semicont.BatchPolicyNames() {
 			fmt.Println(name)
 		}
 		return
@@ -245,6 +266,15 @@ func main() {
 		pol.Classes = classes
 	}
 	pol.ShedWatermark = *shedWM
+	// Edge-tier knobs compose with both custom and paper policies; the
+	// zero defaults mean validation catches partial configurations
+	// (e.g. -prefix-sec without -edge-nodes) instead of ignoring them.
+	pol.EdgeNodes = *edgeNodes
+	pol.EdgePrefixSec = *prefixSec
+	pol.EdgeCacheMb = *edgeCache
+	pol.EdgeCachePolicy = *edgePol
+	pol.BatchPolicy = *batchPol
+	pol.BatchWindowSec = *batchWin
 
 	fcfg := faults.Config{MTBFHours: *mtbf, MTTRHours: *mttr, Cold: *coldRec}
 	if *brownoutF != "" {
@@ -564,9 +594,13 @@ func printResult(sc semicont.Scenario, r *semicont.Result) {
 	if sc.Policy.PauseProb > 0 {
 		fmt.Printf("interactivity      %d viewer pauses\n", r.ViewerPauses)
 	}
-	if sc.Policy.PatchWindowSec > 0 {
+	if sc.Policy.PatchWindowSec > 0 || sc.Policy.BatchPolicy == semicont.BatchPolicyPatch {
 		fmt.Printf("patching           %d joins, %.0f Mb delivered over shared streams\n",
 			r.PatchedJoins, r.SharedMb)
+	}
+	if sc.Policy.EdgeNodes > 0 {
+		fmt.Printf("edge               %d nodes, %d hits (%d batched joins), %.0f Mb edge-served, %.0f Mb shared, %.0f Mb cluster egress\n",
+			sc.Policy.EdgeNodes, r.EdgeHits, r.BatchedJoins, r.EdgeMb, r.SharedMb, r.ClusterEgressMb)
 	}
 	if r.PlacementShortfall > 0 {
 		fmt.Printf("placement          WARNING: %d replicas did not fit (placed %d)\n",

@@ -29,6 +29,10 @@ type DistStats struct {
 	Migrations stats.Sketch
 	// Park is the time streams spent in degraded-mode playback.
 	Park stats.Sketch
+	// EdgeWait is the admission wait of edge-hit requests only — the
+	// subset of Wait whose prefix an edge node served. Empty unless the
+	// edge tier is enabled.
+	EdgeWait stats.Sketch
 }
 
 // bind attaches the sketches to the engine's observation channels.
@@ -38,6 +42,7 @@ func (d *DistStats) bind(eng *core.Engine) {
 	eng.SetAccumulator(core.ObsGlitch, &d.Glitch)
 	eng.SetAccumulator(core.ObsMigrations, &d.Migrations)
 	eng.SetAccumulator(core.ObsPark, &d.Park)
+	eng.SetAccumulator(core.ObsEdgeWait, &d.EdgeWait)
 }
 
 // Merge folds o's sketches into d. Sketch merging is bit-for-bit
@@ -53,6 +58,7 @@ func (d *DistStats) Merge(o *DistStats) {
 	d.Glitch.Merge(&o.Glitch)
 	d.Migrations.Merge(&o.Migrations)
 	d.Park.Merge(&o.Park)
+	d.EdgeWait.Merge(&o.EdgeWait)
 }
 
 // Equal reports bit-for-bit equality of every sketch. Determinism tests
@@ -66,7 +72,8 @@ func (d *DistStats) Equal(o *DistStats) bool {
 		d.RetrySojourn.Equal(&o.RetrySojourn) &&
 		d.Glitch.Equal(&o.Glitch) &&
 		d.Migrations.Equal(&o.Migrations) &&
-		d.Park.Equal(&o.Park)
+		d.Park.Equal(&o.Park) &&
+		d.EdgeWait.Equal(&o.EdgeWait)
 }
 
 // Channels returns the sketches with their report labels, in a fixed
@@ -84,6 +91,7 @@ func (d *DistStats) Channels() []struct {
 		{"glitch", &d.Glitch},
 		{"migrations", &d.Migrations},
 		{"degraded park", &d.Park},
+		{"edge wait", &d.EdgeWait},
 	}
 }
 

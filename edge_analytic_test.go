@@ -1,0 +1,130 @@
+package semicont
+
+import (
+	"math"
+	"testing"
+
+	"semicont/internal/analytic"
+	"semicont/internal/catalog"
+	"semicont/internal/edge"
+	"semicont/internal/rng"
+)
+
+// TestEdgeEgressMatchesAnalyticBound cross-checks the simulator against
+// internal/analytic's edge egress model on a fully provisioned cache
+// (every prefix cached, so the per-video prefix volumes are exact and
+// the bound's "everything admitted" assumption holds — the residual
+// cluster load is far below capacity).
+//
+// Unicast: with no batching the bound is an equality in expectation —
+// every admitted request costs the cluster exactly its suffix — so the
+// simulated egress must land within 5% of rate × horizon (Poisson
+// composition noise plus end-of-horizon truncation stay near 2% at
+// ~6000 arrivals).
+//
+// Batch-prefix: the renewal bound assumes every arrival within the
+// window joins the leader's stream, which the simulator only achieves
+// when a joinable stream is actually ongoing — so the simulated egress
+// must sit at or above the bound, and at or below the unicast run.
+func TestEdgeEgressMatchesAnalyticBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour analytic cross-check skipped in -short mode")
+	}
+	const prefixSec = 900
+	base := Scenario{
+		System: SmallSystem(),
+		Policy: Policy{
+			Name:          "edge-analytic",
+			Placement:     EvenPlacement,
+			StagingFrac:   0.2,
+			Migration:     true,
+			EdgeNodes:     2,
+			EdgePrefixSec: prefixSec,
+			EdgeCacheMb:   1e9,
+		},
+		Theta:        0.271,
+		HorizonHours: 12,
+		Seed:         1,
+	}
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 || res.Reneged != 0 {
+		t.Fatalf("denials on the fully cached run (%d rejected, %d reneged): the bound assumes every arrival is admitted",
+			res.Rejected, res.Reneged)
+	}
+
+	// Reconstruct the run's exact catalog (same config, same derived
+	// seed) and reproduce a node's content with the exported fill rule.
+	sys := base.System
+	cat, err := catalog.Generate(catalog.Config{
+		NumVideos: sys.NumVideos,
+		MinLength: sys.MinVideoLength,
+		MaxLength: sys.MaxVideoLength,
+		ViewRate:  sys.ViewRate,
+		Theta:     base.Theta,
+	}, rng.New(rng.DeriveSeed(base.Seed, seedCatalog)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cat.Len()
+	prefix := make([]float64, n)
+	for v := 0; v < n; v++ {
+		p := prefixSec * sys.ViewRate
+		if s := cat.Video(v).Size; p > s {
+			p = s
+		}
+		prefix[v] = p
+	}
+	cached := make([]bool, n)
+	edge.GreedyFill(prefix, base.Policy.EdgeCacheMb, cached)
+	model := &analytic.EdgeModel{
+		Rate:     make([]float64, n),
+		SizeMb:   make([]float64, n),
+		PrefixMb: make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		vid := cat.Video(v)
+		model.Rate[v] = res.ArrivalRate * vid.Prob
+		model.SizeMb[v] = vid.Size
+		if cached[v] {
+			model.PrefixMb[v] = prefix[v]
+		}
+	}
+
+	horizon := base.HorizonHours * 3600
+	bound, err := model.EgressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := bound * horizon
+	if rel := math.Abs(res.ClusterEgressMb-pred) / pred; rel > 0.05 {
+		t.Errorf("unicast egress %.0f Mb vs analytic %.0f Mb: %.1f%% off (want ≤5%%)",
+			res.ClusterEgressMb, pred, 100*rel)
+	}
+
+	bsc := base
+	bsc.Policy.BatchPolicy = BatchPolicyBatchPrefix
+	bsc.Policy.BatchWindowSec = 300
+	bres, err := Run(bsc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.WindowSec = bsc.Policy.BatchWindowSec
+	bbound, err := model.EgressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.BatchedJoins == 0 {
+		t.Error("batch-prefix run produced no joins")
+	}
+	if bpred := bbound * horizon; bres.ClusterEgressMb < bpred*0.95 {
+		t.Errorf("batched egress %.0f Mb below the analytic lower bound %.0f Mb",
+			bres.ClusterEgressMb, bpred)
+	}
+	if bres.ClusterEgressMb > res.ClusterEgressMb+1e-6 {
+		t.Errorf("batching raised egress (%.0f Mb vs unicast %.0f Mb)",
+			bres.ClusterEgressMb, res.ClusterEgressMb)
+	}
+}

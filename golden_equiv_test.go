@@ -183,6 +183,32 @@ func goldenMatrix() []struct {
 	auditedInt.Audit = true
 	add("audited-intermittent", auditedInt)
 
+	// Edge/proxy tier: prefix caching splits every hit into an
+	// edge-served head and a cluster suffix stream with a nonzero start
+	// offset. The bare cell pins the probe + suffix-admission path; the
+	// batch cell adds batch-prefix joins (audited, so the edge-accounting
+	// rule and the EdgeServe tap ride the fixture); the DRM cell pins
+	// suffix streams crossing migration and the lru fill order.
+	edgePol := Policy{
+		Name: "edge-unicast", StagingFrac: 0.2,
+		EdgeNodes: 2, EdgePrefixSec: 900, EdgeCacheMb: 90000,
+	}
+	add("edge-unicast", base(edgePol))
+	edgeBatch := edgePol
+	edgeBatch.Name = "edge-batch"
+	edgeBatch.BatchPolicy = BatchPolicyBatchPrefix
+	edgeBatch.BatchWindowSec = 300
+	edgeBatchCell := base(edgeBatch)
+	edgeBatchCell.Audit = true
+	add("edge-batch", edgeBatchCell)
+	edgeDRM := drm(Policy{
+		Name: "edge-drm", StagingFrac: 0.2,
+		EdgeNodes: 2, EdgePrefixSec: 900, EdgeCacheMb: 90000,
+		EdgeCachePolicy: EdgeCacheLRU,
+		BatchPolicy:     BatchPolicyBatchPrefix, BatchWindowSec: 300,
+	}, 1, 1)
+	add("edge-drm", base(edgeDRM))
+
 	return m
 }
 

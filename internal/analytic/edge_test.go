@@ -1,0 +1,107 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeModelEgressRate(t *testing.T) {
+	m := &EdgeModel{
+		Rate:     []float64{0.1, 0.05},
+		SizeMb:   []float64{3600, 1800},
+		PrefixMb: []float64{900, 1800},
+	}
+	got, err := m.EgressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unicast: 0.1·(3600−900) + 0.05·0 = 270.
+	if want := 270.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("unicast egress = %g, want %g", got, want)
+	}
+	m.WindowSec = 100
+	got, err = m.EgressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batched: 0.1/(1+10)·2700 = 270/11.
+	if want := 270.0 / 11; math.Abs(got-want) > 1e-9 {
+		t.Errorf("batched egress = %g, want %g", got, want)
+	}
+}
+
+// TestEdgeModelMonotone pins the bound's qualitative shape: it falls as
+// prefixes grow and as the batching window widens, and never below zero.
+func TestEdgeModelMonotone(t *testing.T) {
+	base := &EdgeModel{
+		Rate:     []float64{0.2, 0.1, 0.01},
+		SizeMb:   []float64{5400, 3600, 1800},
+		PrefixMb: []float64{0, 0, 0},
+	}
+	prev, err := base.EgressRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{500, 1000, 1800} {
+		for v := range base.PrefixMb {
+			base.PrefixMb[v] = p
+		}
+		got, err := base.EgressRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev {
+			t.Errorf("prefix %g: egress %g not below %g", p, got, prev)
+		}
+		prev = got
+	}
+	for _, w := range []float64{10, 100, 1000} {
+		m := *base
+		m.WindowSec = w
+		got, err := m.EgressRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev || got < 0 {
+			t.Errorf("window %g: egress %g not below %g (or negative)", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEdgeModelValidate(t *testing.T) {
+	ok := func() *EdgeModel {
+		return &EdgeModel{
+			Rate:     []float64{0.1},
+			SizeMb:   []float64{3600},
+			PrefixMb: []float64{900},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*EdgeModel)
+	}{
+		{"empty", func(m *EdgeModel) { m.Rate = nil }},
+		{"length mismatch", func(m *EdgeModel) { m.SizeMb = []float64{1, 2} }},
+		{"negative rate", func(m *EdgeModel) { m.Rate[0] = -1 }},
+		{"nan rate", func(m *EdgeModel) { m.Rate[0] = math.NaN() }},
+		{"zero size", func(m *EdgeModel) { m.SizeMb[0] = 0 }},
+		{"negative prefix", func(m *EdgeModel) { m.PrefixMb[0] = -1 }},
+		{"prefix beyond size", func(m *EdgeModel) { m.PrefixMb[0] = 3601 }},
+		{"negative window", func(m *EdgeModel) { m.WindowSec = -1 }},
+		{"inf window", func(m *EdgeModel) { m.WindowSec = math.Inf(1) }},
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	for _, c := range cases {
+		m := ok()
+		c.mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+		if _, err := m.EgressRate(); err == nil {
+			t.Errorf("%s: EgressRate accepted", c.name)
+		}
+	}
+}

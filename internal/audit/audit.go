@@ -72,7 +72,7 @@ type Violation struct {
 	// "intermittent-order", "intermittent-feed", "admission-feasible",
 	// "hops", "chain", "migration-target", "replica", "replica-dup",
 	// "storage", "fault-state", "failure-accounting", "accounting",
-	// "overload-shedding", "wake-exact".
+	// "overload-shedding", "wake-exact", "edge-accounting".
 	Rule string
 
 	Time    float64 // simulation time of the violating event
@@ -126,6 +126,14 @@ type Auditor struct {
 	// Overload-shedding model: shed-tap count, reconciled against the
 	// engine's per-class metrics at End.
 	shedCount int64
+
+	// Edge-tier model: serve/batched-join counts and an edge-byte
+	// mirror accumulated with the engine's own float expression
+	// (prefix + catch-up per serve, in tap order), reconciled exactly
+	// against Metrics.EdgeHits/BatchedJoins/EdgeMb at End.
+	edgeServes  int64
+	edgeBatched int64
+	edgeMb      float64
 
 	// Current event context, established by BeginEvent, attributed to
 	// violations raised by in-event taps.
@@ -583,6 +591,47 @@ func (a *Auditor) Shed(t float64, video int32, class int32, util, watermark floa
 	return nil
 }
 
+// EdgeServe implements core.AuditTap: the edge-accounting rule. Every
+// edge serve must decompose the whole object exactly — prefix bytes
+// from the edge cache, plus the relayed catch-up and multicast share
+// of a batched join, plus the unicast cluster suffix, must equal the
+// object's size — with every part non-negative, only on a run with
+// the edge tier enabled, and with the batched shape matching the
+// configured batch policy.
+func (a *Auditor) EdgeServe(t float64, video int32, prefixMb, catchupMb, sharedMb, suffixMb, sizeMb float64, batched bool) error {
+	a.edgeServes++
+	if a.cfg.Edge.Nodes == 0 {
+		return a.fail("edge-accounting", -1, 0,
+			"edge serve of video %d with the edge tier disabled", video)
+	}
+	if prefixMb <= 0 || catchupMb < 0 || sharedMb < 0 || suffixMb < 0 {
+		return a.fail("edge-accounting", -1, 0,
+			"video %d: malformed decomposition prefix=%g catchup=%g shared=%g suffix=%g",
+			video, prefixMb, catchupMb, sharedMb, suffixMb)
+	}
+	if got := prefixMb + catchupMb + sharedMb + suffixMb; math.Abs(got-sizeMb) > dataEps {
+		return a.fail("edge-accounting", -1, 0,
+			"video %d: prefix %g + catchup %g + shared %g + suffix %g = %g != object size %g",
+			video, prefixMb, catchupMb, sharedMb, suffixMb, got, sizeMb)
+	}
+	if batched {
+		a.edgeBatched++
+		if a.cfg.BatchPolicyName() != core.BatchBatchPrefix {
+			return a.fail("edge-accounting", -1, 0,
+				"batched join of video %d under batch policy %q", video, a.cfg.BatchPolicyName())
+		}
+		if suffixMb != 0 {
+			return a.fail("edge-accounting", -1, 0,
+				"batched join of video %d opened a %g Mb cluster suffix stream", video, suffixMb)
+		}
+	} else if catchupMb != 0 || sharedMb != 0 {
+		return a.fail("edge-accounting", -1, 0,
+			"unbatched serve of video %d with catchup %g / shared %g Mb", video, catchupMb, sharedMb)
+	}
+	a.edgeMb += prefixMb + catchupMb
+	return nil
+}
+
 // Chain implements core.AuditTap: per-admission chain bounds.
 func (a *Auditor) Chain(t float64, length int) error {
 	if length < 1 || length > a.effMaxChain {
@@ -706,6 +755,28 @@ func (a *Auditor) End(t float64, m core.Metrics) error {
 	if m.DeliveredBytes > m.AcceptedBytes*(1+1e-9)+dataEps {
 		return a.fail("accounting", -1, 0,
 			"delivered %g Mb exceeds accepted %g Mb", m.DeliveredBytes, m.AcceptedBytes)
+	}
+	if a.edgeServes != m.EdgeHits || a.edgeBatched != m.BatchedJoins {
+		return a.fail("edge-accounting", -1, 0,
+			"audited %d edge serves / %d batched joins, metrics report %d / %d",
+			a.edgeServes, a.edgeBatched, m.EdgeHits, m.BatchedJoins)
+	}
+	// The byte mirror was accumulated with the engine's own expression
+	// in the engine's own order, so the comparison is exact — any
+	// difference is an accounting path the EdgeServe tap missed.
+	if a.edgeMb != m.EdgeMb {
+		return a.fail("edge-accounting", -1, 0,
+			"audited edge bytes %g != metrics EdgeMb %g", a.edgeMb, m.EdgeMb)
+	}
+	if a.cfg.Edge.Nodes > 0 {
+		if m.ClusterEgressMb != m.DeliveredBytes {
+			return a.fail("edge-accounting", -1, 0,
+				"cluster egress %g Mb != delivered %g Mb", m.ClusterEgressMb, m.DeliveredBytes)
+		}
+	} else if m.ClusterEgressMb != 0 || m.EdgeMb != 0 || m.EdgeHits != 0 || m.BatchedJoins != 0 {
+		return a.fail("edge-accounting", -1, 0,
+			"edge metrics nonzero with the edge tier disabled: hits=%d joins=%d edge=%g egress=%g",
+			m.EdgeHits, m.BatchedJoins, m.EdgeMb, m.ClusterEgressMb)
 	}
 	if m.ChainLengthTotal > m.Migrations {
 		return a.fail("accounting", -1, 0,

@@ -197,6 +197,14 @@ type AuditTap interface {
 	// controller: its video, its traffic class (never 0, the protected
 	// class), and the utilization/watermark pair that triggered it.
 	Shed(t float64, video int32, class int32, util, watermark float64) error
+	// EdgeServe reports one request (partially) served by the edge
+	// tier, with its byte decomposition: prefixMb came from the edge
+	// cache, catchupMb was relayed from the edge's buffer of a shared
+	// stream, sharedMb arrives over that multicast stream, and
+	// suffixMb is the unicast cluster stream admitted for the request
+	// (0 for full-cache serves and batched joins). The parts must sum
+	// to sizeMb, the whole object. batched marks a batch-prefix join.
+	EdgeServe(t float64, video int32, prefixMb, catchupMb, sharedMb, suffixMb, sizeMb float64, batched bool) error
 	// Chain reports the length of an executed DRM admission chain.
 	Chain(t float64, length int) error
 	// Replication reports a completed replica install.

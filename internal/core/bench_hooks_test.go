@@ -25,3 +25,10 @@ func benchSpreadSpare(e *Engine, s *server, avail float64) {
 func benchSelect(e *Engine, v int, t float64) *server {
 	return e.selector().Select(e, v, t)
 }
+
+// benchEdgeProbe runs one edge-tier probe — the per-arrival cache
+// lookup (and, for replacing policies, the admit/evict update) that
+// precedes admission when the edge tier is on.
+func benchEdgeProbe(e *Engine, v int) float64 {
+	return e.edgeProbe(v)
+}

@@ -66,6 +66,9 @@ func (e *Engine) evictSlot0(s *server, t float64) evictOutcome {
 		s.detach(r)
 		e.metrics.DroppedStreams++
 		e.metrics.DeliveredBytes += r.carrySent
+		if e.cfg.Edge.Nodes > 0 {
+			e.metrics.ClusterEgressMb += r.carrySent
+		}
 		e.observe(ObsMigrations, float64(r.hops))
 		e.recycle(r)
 		return evictDropped

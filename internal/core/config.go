@@ -268,6 +268,12 @@ type Config struct {
 	// prefix patches (related-work technique; Section 6 future work).
 	Patching PatchingConfig
 
+	// Edge configures the proxy tier in front of the cluster: edge
+	// nodes with bounded prefix caches serve the head of hot titles
+	// locally, and a batching policy lets concurrent edge hits share
+	// one cluster suffix stream (see edge.go and batch.go).
+	Edge EdgeConfig
+
 	// Retry configures the bounded admission retry queue (fault
 	// tolerance: rejected requests wait and re-enter admission).
 	Retry RetryConfig
@@ -528,6 +534,23 @@ func (c Config) Validate() error {
 	}
 	if c.Patching.Enabled && c.Interactivity.PauseProb > 0 {
 		return fmt.Errorf("core: patching is incompatible with viewer interactivity (a paused primary starves its taps)")
+	}
+	if err := c.Edge.Validate(); err != nil {
+		return err
+	}
+	if c.Edge.Nodes > 0 && c.Patching.Enabled {
+		return fmt.Errorf("core: the edge tier and legacy patching are mutually exclusive (express patching as Edge.Batch=%q)", BatchPatch)
+	}
+	if c.Edge.Batch != "" && c.Patching.Enabled {
+		return fmt.Errorf("core: Edge.Batch %q configured alongside legacy Patching (pick one)", c.Edge.Batch)
+	}
+	if batch := c.BatchPolicyName(); batch != BatchUnicast {
+		if c.Intermittent {
+			return fmt.Errorf("core: batch policy %q is incompatible with intermittent scheduling (a paused primary starves its taps)", batch)
+		}
+		if c.Interactivity.PauseProb > 0 {
+			return fmt.Errorf("core: batch policy %q is incompatible with viewer interactivity (a paused primary starves its taps)", batch)
+		}
 	}
 	return c.Migration.Validate()
 }

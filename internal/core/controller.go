@@ -254,15 +254,22 @@ func (e *Engine) findAdmission(v int, t float64, class int32) (*server, bool) {
 // and, on success, attaches a new stream with the given client
 // capabilities and traffic class (-1 for classless runs) and does the
 // shared success accounting (acceptance counters, observer callback,
-// interaction draw, reschedule). handleArrival and handleRetry wrap it
-// with their own failure paths.
-func (e *Engine) admit(v int, t, bufCap, recvCap float64, class int32) bool {
+// interaction draw, reschedule). prefix is the volume served by the
+// arrival's edge node (0 without an edge hit): the cluster stream is
+// the object's suffix, that much smaller and marked with its start
+// offset. handleArrival and handleRetry wrap admit with their own
+// failure paths.
+func (e *Engine) admit(v int, t, bufCap, recvCap float64, class int32, prefix float64) bool {
 	best, viaDRM := e.findAdmission(v, t, class)
 	if best == nil {
 		return false
 	}
 	best.syncAll(t)
 	r := e.newRequest(v, t)
+	if prefix > 0 {
+		r.size -= prefix
+		r.startOff = prefix
+	}
 	r.bufCap, r.recvCap = bufCap, recvCap
 	r.class = class
 	best.attach(r)
@@ -270,6 +277,13 @@ func (e *Engine) admit(v int, t, bufCap, recvCap float64, class int32) bool {
 	e.metrics.AcceptedBytes += r.size
 	if class >= 0 {
 		e.metrics.ClassAccepted[class]++
+	}
+	if prefix > 0 {
+		e.metrics.EdgeHits++
+		e.metrics.EdgeMb += prefix
+		if e.audit != nil {
+			e.auditFail(e.audit.EdgeServe(t, int32(v), prefix, 0, 0, r.size, r.size+prefix, false))
+		}
 	}
 	if e.obs != nil {
 		e.obs.OnAdmit(t, r.id, v, int(best.id), viaDRM)

@@ -6,6 +6,7 @@ import (
 
 	"semicont/internal/catalog"
 	"semicont/internal/core/alloc"
+	"semicont/internal/edge"
 	"semicont/internal/placement"
 	"semicont/internal/rng"
 	"semicont/internal/simtime"
@@ -135,6 +136,14 @@ type Engine struct {
 	sel   ServerSelector
 	planr MigrationPlanner
 
+	// Edge tier (see edge.go and batch.go): one prefix cache per edge
+	// node, the round-robin arrival→node cursor, the per-video prefix
+	// sizes computed at Reset, and the lazily resolved batch policy.
+	edgeCaches []edge.CachePolicy
+	edgeRR     int
+	edgePrefix []float64
+	batchPol   BatchPolicy
+
 	// Sharded execution (see shard.go). sh is the shard machinery — nil
 	// unless Config.Shards asked for more than one shard, so the serial
 	// hot path pays only nil checks. seqSrc is the engine-owned event
@@ -226,6 +235,8 @@ func (e *Engine) Reset(cfg Config, cat *catalog.Catalog, lay *placement.Layout, 
 	// from the new config (random-feasible's choice stream, for one,
 	// seeds itself from cfg.SelectorSeed on first use).
 	e.alloc, e.sel, e.planr = nil, nil, nil
+	e.batchPol = nil
+	e.resetEdge()
 	e.classAlias, e.classRNG = nil, nil
 	e.trafficAlias, e.trafficRNG = nil, nil
 	e.classSel = [MaxTrafficClasses]ServerSelector{}
@@ -662,19 +673,34 @@ func (e *Engine) handleArrival(t float64) {
 		}
 		return
 	}
-	if _, ok := e.tryPatchJoin(v, t, bufCap, recvCap); ok {
+	prefix := e.edgeProbe(v)
+	if prefix > 0 && prefix >= e.cat.Video(v).Size-dataEps {
+		// The cached prefix covers the whole object: served entirely
+		// at the edge, the cluster never hears about it.
+		e.edgeFullServe(v, t, class, prefix)
+		e.observe(ObsWait, 0)
+		e.observe(ObsEdgeWait, 0)
+		return
+	}
+	if e.batch().TryJoin(e, v, t, bufCap, recvCap, class, prefix) {
 		if class >= 0 {
 			e.metrics.ClassAccepted[class]++
 		}
 		e.observe(ObsWait, 0)
+		if prefix > 0 {
+			e.observe(ObsEdgeWait, 0)
+		}
 		return
 	}
-	if e.admit(v, t, bufCap, recvCap, class) {
+	if e.admit(v, t, bufCap, recvCap, class, prefix) {
 		e.observe(ObsWait, 0)
+		if prefix > 0 {
+			e.observe(ObsEdgeWait, 0)
+		}
 		return
 	}
 	if e.cfg.Retry.Enabled && len(e.retryQ) < e.retryMaxQueue() {
-		e.enqueueRetry(v, t, bufCap, recvCap, class)
+		e.enqueueRetry(v, t, bufCap, recvCap, class, prefix)
 	} else {
 		e.metrics.Rejected++
 		if class >= 0 {
@@ -778,6 +804,9 @@ func (e *Engine) finish(r *request, s *server, t float64) {
 		return
 	}
 	e.metrics.DeliveredBytes += r.carrySent // detach just stored the lane state
+	if e.cfg.Edge.Nodes > 0 {
+		e.metrics.ClusterEgressMb += r.carrySent
+	}
 	if e.obs != nil {
 		e.obs.OnFinish(t, r.id, int(r.video), int(s.id))
 	}

@@ -31,6 +31,7 @@ type retryEntry struct {
 	class    int32 // traffic class (-1 on classless runs)
 	bufCap   float64
 	recvCap  float64
+	prefix   float64 // edge-served prefix Mb, pinned at arrival (cache state moves on)
 	arrived  float64 // arrival time, for the sojourn observation
 	deadline float64 // reneging time: arrival + the class's patience
 }
@@ -128,14 +129,14 @@ func (e *Engine) wipeStorage(s *server) {
 // schedules its first re-attempt. The caller has already checked the
 // queue bound. Patience is the traffic class's (premium tiers wait
 // longer), the global default on classless runs.
-func (e *Engine) enqueueRetry(v int, t, bufCap, recvCap float64, class int32) {
+func (e *Engine) enqueueRetry(v int, t, bufCap, recvCap float64, class int32, prefix float64) {
 	if e.retryQ == nil {
 		e.retryQ = make(map[int64]*retryEntry)
 	}
 	e.nextRetryID++
 	en := &retryEntry{
 		id: e.nextRetryID, video: int32(v), class: class,
-		bufCap: bufCap, recvCap: recvCap,
+		bufCap: bufCap, recvCap: recvCap, prefix: prefix,
 		arrived:  t,
 		deadline: t + e.classPatience(class),
 	}
@@ -163,11 +164,14 @@ func (e *Engine) handleRetry(id int64, t float64) {
 		return
 	}
 	v := int(en.video)
-	if e.admit(v, t, en.bufCap, en.recvCap, en.class) {
+	if e.admit(v, t, en.bufCap, en.recvCap, en.class, en.prefix) {
 		delete(e.retryQ, id)
 		e.metrics.RetriedAdmissions++
 		e.observe(ObsWait, t-en.arrived)
 		e.observe(ObsRetrySojourn, t-en.arrived)
+		if en.prefix > 0 {
+			e.observe(ObsEdgeWait, t-en.arrived)
+		}
 		return
 	}
 	if t+timeEps >= en.deadline {
@@ -261,6 +265,9 @@ func (e *Engine) handleParkTick(id int64, ver uint64, t float64) {
 		e.metrics.DegradedGlitches++
 		e.metrics.DroppedStreams++
 		e.metrics.DeliveredBytes += r.carrySent
+		if e.cfg.Edge.Nodes > 0 {
+			e.metrics.ClusterEgressMb += r.carrySent
+		}
 		e.observe(ObsPark, t-r.parkStart)
 		e.observe(ObsGlitch, (r.size-r.viewedAt(t, bview))/bview)
 		e.observe(ObsMigrations, float64(r.hops))

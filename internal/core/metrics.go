@@ -44,6 +44,20 @@ type Metrics struct {
 	PatchedJoins int64
 	SharedMb     float64
 
+	// Edge-tier accounting (all exactly zero when Edge.Nodes == 0).
+	// EdgeHits counts requests whose video prefix was served from an
+	// edge cache (including full-cache serves and batched joins);
+	// BatchedJoins counts the subset served by joining an ongoing
+	// suffix stream under the batch-prefix policy. EdgeMb is the
+	// volume the edge tier delivered (cached prefixes plus relayed
+	// catch-ups; never part of AcceptedBytes or DeliveredBytes).
+	// ClusterEgressMb mirrors DeliveredBytes bit-for-bit on edge runs
+	// so the quantity the tier is built to cut is named and audited.
+	EdgeHits        int64
+	BatchedJoins    int64
+	EdgeMb          float64
+	ClusterEgressMb float64
+
 	// Replication accounting.
 	ReplicationsStarted   int64   // copy jobs begun
 	ReplicationsCompleted int64   // replicas installed

@@ -39,8 +39,15 @@ const (
 	// buffer-dry drop).
 	ObsPark
 
+	// ObsEdgeWait is the wait in seconds before an edge-served prefix
+	// starts playing: 0 for edge hits admitted on arrival (including
+	// full-cache serves and batched joins), the queueing delay for
+	// edge hits admitted off the retry queue. Cache misses are not
+	// observed here — they are ordinary cluster admissions.
+	ObsEdgeWait
+
 	// NumObsKinds sizes per-channel arrays.
-	NumObsKinds = int(ObsPark) + 1
+	NumObsKinds = int(ObsEdgeWait) + 1
 )
 
 // SetAccumulator binds an accumulator to one observation channel. Call

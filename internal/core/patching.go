@@ -49,9 +49,14 @@ func (p PatchingConfig) Validate() error {
 	return nil
 }
 
-// patchWindow returns the configured window with its default.
+// patchWindow returns the configured window with its default. The
+// legacy Patching.Window takes precedence; runs selecting the policy
+// through Edge.Batch="patch" configure the window as Edge.BatchWindow.
 func (e *Engine) patchWindow() float64 {
 	if w := e.cfg.Patching.Window; w > 0 {
+		return w
+	}
+	if w := e.cfg.Edge.BatchWindow; w > 0 {
 		return w
 	}
 	return 1200
@@ -59,11 +64,10 @@ func (e *Engine) patchWindow() float64 {
 
 // tryPatchJoin attempts to admit the arrival for video v by tapping an
 // ongoing transmission. bufCap is the joining client's staging buffer.
-// On success it returns the created patch request's server.
+// On success it returns the created patch request's server. Callers
+// gate on policy: this runs only when the resolved batch policy is
+// "patch" (legacy Patching.Enabled or Edge.Batch="patch").
 func (e *Engine) tryPatchJoin(v int, t float64, bufCap, recvCap float64) (*server, bool) {
-	if !e.cfg.Patching.Enabled {
-		return nil, false
-	}
 	maxPrefix := e.patchWindow() * e.cfg.ViewRate
 	if bufCap < maxPrefix {
 		maxPrefix = bufCap

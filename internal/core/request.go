@@ -71,6 +71,13 @@ type request struct {
 	isPatch bool
 	taps    int32
 
+	// startOff > 0 marks a cluster suffix stream behind the edge tier:
+	// the first startOff Mb of the object were served from an edge
+	// cache and size covers only the remainder. Cold bookkeeping for
+	// accounting and batch-join eligibility; the fluid model treats
+	// the stream as an ordinary object of its (suffix) size.
+	startOff float64
+
 	// glitched marks a stream whose buffer ran dry while paused by the
 	// intermittent scheduler — a playback interruption the client saw.
 	glitched bool

@@ -367,6 +367,9 @@ func (e *Engine) commitWindows() {
 		ss.cur++
 		for _, r := range ss.finished[en.fin0:en.fin1] {
 			e.metrics.DeliveredBytes += r.carrySent
+			if e.cfg.Edge.Nodes > 0 {
+				e.metrics.ClusterEgressMb += r.carrySent
+			}
 			e.recycle(r)
 		}
 		for _, c := range ss.copiesDone[en.cp0:en.cp1] {

@@ -49,6 +49,7 @@ func Registry() []Entry {
 		{"fail-small", "Fault tolerance: failure rescue via DRM, small system", bind(Failover, small)},
 		{"fault-sweep-small", "Fault tolerance: denial/drop/glitch rates vs MTBF under server churn, small system", bind(FaultSweep, small)},
 		{"overload-sweep-small", "Robustness: per-class denial and glitch rates vs flash-crowd burst under load shedding, small system", bind(OverloadSweep, small)},
+		{"edge-sweep-small", "Extension: edge prefix caching and multicast batching — cluster egress and denial rate vs cache size, small system", bind(EdgeSweep, small)},
 		{"admission-sweep-small", "Ablation: registered admission selectors vs offered load, small system", bind(AdmissionSweep, small)},
 		{"scale-large", "Scale: admission-delay quantiles vs offered load, 200-server cluster, 10^6-request trials", ScaleDist},
 		{"faults-large", "Scale: glitch/park/migration quantiles vs MTBF under churn, 200-server cluster", ScaleFaults},

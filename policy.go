@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semicont/internal/core"
+	"semicont/internal/edge"
 )
 
 // PlacementKind selects a static video placement strategy.
@@ -155,6 +156,41 @@ type Policy struct {
 	// PauseProb.
 	PatchWindowSec float64
 
+	// EdgeNodes, when positive, puts an edge/proxy tier of that many
+	// nodes in front of the cluster: each node holds the first
+	// EdgePrefixSec seconds of selected videos in an EdgeCacheMb byte
+	// budget and serves those prefixes locally, so the cluster streams
+	// only the suffix of a hit title (or nothing when the cached prefix
+	// covers the whole video). Arrivals probe nodes round-robin.
+	// EdgeNodes > 0 requires EdgePrefixSec > 0 and EdgeCacheMb > 0;
+	// setting any of the other edge fields while EdgeNodes is zero is a
+	// validation error, not a silent no-op. Incompatible with
+	// PatchWindowSec (express patching as BatchPolicy instead).
+	EdgeNodes     int
+	EdgePrefixSec float64
+	EdgeCacheMb   float64
+
+	// EdgeCachePolicy names the per-node prefix-cache policy by registry
+	// name (see EdgeCachePolicyNames). Empty means static-zipf, the
+	// provisioned greedy fill in popularity order.
+	EdgeCachePolicy string
+
+	// BatchPolicy names the multicast batching policy by registry name
+	// (see BatchPolicyNames): how concurrent requests for one title
+	// share a cluster stream. Empty resolves to "patch" when
+	// PatchWindowSec is set (the legacy spelling) and "unicast"
+	// otherwise. "patch" is classic multicast patching with
+	// BatchWindowSec as its window; "batch-prefix" joins an ongoing
+	// suffix stream while the edge prefix absorbs the catch-up, and
+	// requires EdgeNodes > 0 and BatchWindowSec > 0. Non-unicast
+	// policies are incompatible with Intermittent and PauseProb.
+	BatchPolicy string
+
+	// BatchWindowSec is the batching window in seconds of playback for
+	// BatchPolicy ("patch": 0 means 20 minutes; "batch-prefix" requires
+	// it). Setting it without a batching BatchPolicy is an error.
+	BatchWindowSec float64
+
 	// RetryQueue enables the admission retry queue: a rejected arrival
 	// waits (modeling client patience) and re-attempts admission every
 	// RetryBackoffSec seconds until RetryPatienceSec expires, at which
@@ -298,6 +334,40 @@ const (
 // engine's controller, sorted by name.
 func SelectorNames() []string { return core.SelectorNames() }
 
+// Registry names of the engine's built-in multicast batching policies,
+// usable as Policy.BatchPolicy.
+const (
+	// BatchPolicyUnicast streams every admitted request on its own
+	// unicast channel (the default).
+	BatchPolicyUnicast = core.BatchUnicast
+	// BatchPolicyPatch is classic multicast patching: tap an ongoing
+	// transmission and receive the missed prefix as a unicast patch.
+	BatchPolicyPatch = core.BatchPatch
+	// BatchPolicyBatchPrefix joins an ongoing cluster suffix stream
+	// while the edge-cached prefix absorbs the catch-up; requires the
+	// edge tier.
+	BatchPolicyBatchPrefix = core.BatchBatchPrefix
+)
+
+// BatchPolicyNames returns the multicast batching policies registered
+// with the engine, sorted by name.
+func BatchPolicyNames() []string { return core.BatchPolicyNames() }
+
+// Registry names of the built-in edge prefix-cache policies, usable as
+// Policy.EdgeCachePolicy.
+const (
+	// EdgeCacheStaticZipf pins prefixes at run start in popularity
+	// order (greedy fill; the default).
+	EdgeCacheStaticZipf = edge.PolicyStaticZipf
+	// EdgeCacheLRU starts empty and fills on demand with
+	// least-recently-used eviction.
+	EdgeCacheLRU = edge.PolicyLRU
+)
+
+// EdgeCachePolicyNames returns the edge prefix-cache policies
+// registered with internal/edge, sorted by name.
+func EdgeCachePolicyNames() []string { return edge.Names() }
+
 // PlannerNames returns the DRM planners registered with the engine's
 // controller, sorted by name.
 func PlannerNames() []string { return core.PlannerNames() }
@@ -434,6 +504,44 @@ func (p Policy) Validate() error {
 	case p.PauseProb > 0 && (!finite(p.MinPauseSec) || !finite(p.MaxPauseSec) ||
 		p.MinPauseSec <= 0 || p.MaxPauseSec < p.MinPauseSec):
 		return fmt.Errorf("semicont: invalid pause range [%g, %g]", p.MinPauseSec, p.MaxPauseSec)
+	}
+	switch {
+	case p.EdgeNodes < 0:
+		return fmt.Errorf("semicont: negative EdgeNodes %d", p.EdgeNodes)
+	case p.EdgeNodes > 0 && (!finite(p.EdgePrefixSec) || p.EdgePrefixSec <= 0):
+		return fmt.Errorf("semicont: EdgeNodes=%d needs a positive EdgePrefixSec, got %g", p.EdgeNodes, p.EdgePrefixSec)
+	case p.EdgeNodes > 0 && (!finite(p.EdgeCacheMb) || p.EdgeCacheMb <= 0):
+		return fmt.Errorf("semicont: EdgeNodes=%d needs a positive EdgeCacheMb, got %g", p.EdgeNodes, p.EdgeCacheMb)
+	case p.EdgeNodes == 0 && (p.EdgePrefixSec != 0 || p.EdgeCacheMb != 0 || p.EdgeCachePolicy != ""):
+		return fmt.Errorf("semicont: EdgePrefixSec=%g/EdgeCacheMb=%g/EdgeCachePolicy=%q set while EdgeNodes is zero (enable the edge tier or leave them zero)",
+			p.EdgePrefixSec, p.EdgeCacheMb, p.EdgeCachePolicy)
+	case p.EdgeCachePolicy != "" && !edge.Has(p.EdgeCachePolicy):
+		return fmt.Errorf("semicont: unknown edge cache policy %q (have %v)", p.EdgeCachePolicy, EdgeCachePolicyNames())
+	case p.EdgeNodes > 0 && p.PatchWindowSec > 0:
+		return fmt.Errorf("semicont: PatchWindowSec and EdgeNodes are mutually exclusive (express patching as BatchPolicy=%q)", BatchPolicyPatch)
+	case p.BatchPolicy != "" && !core.HasBatchPolicy(p.BatchPolicy):
+		return fmt.Errorf("semicont: unknown batch policy %q (have %v)", p.BatchPolicy, BatchPolicyNames())
+	case p.BatchPolicy != "" && p.PatchWindowSec > 0:
+		return fmt.Errorf("semicont: PatchWindowSec and BatchPolicy are both set (use BatchPolicy=%q with BatchWindowSec)", BatchPolicyPatch)
+	case !finite(p.BatchWindowSec) || p.BatchWindowSec < 0:
+		return fmt.Errorf("semicont: negative BatchWindowSec %g", p.BatchWindowSec)
+	case p.BatchPolicy == BatchPolicyPatch && p.EdgeNodes > 0:
+		return fmt.Errorf("semicont: BatchPolicy %q taps full streams from their start and cannot run behind the edge tier (use %q)",
+			BatchPolicyPatch, BatchPolicyBatchPrefix)
+	case p.BatchPolicy == BatchPolicyBatchPrefix && p.EdgeNodes == 0:
+		return fmt.Errorf("semicont: BatchPolicy %q joins suffix streams and requires the edge tier (EdgeNodes > 0)", BatchPolicyBatchPrefix)
+	case p.BatchPolicy == BatchPolicyBatchPrefix && p.BatchWindowSec <= 0:
+		return fmt.Errorf("semicont: BatchPolicy %q requires a positive BatchWindowSec", BatchPolicyBatchPrefix)
+	case (p.BatchPolicy == "" || p.BatchPolicy == BatchPolicyUnicast) && p.BatchWindowSec != 0:
+		return fmt.Errorf("semicont: BatchWindowSec=%g set without a batching BatchPolicy", p.BatchWindowSec)
+	}
+	if p.BatchPolicy != "" && p.BatchPolicy != BatchPolicyUnicast {
+		if intermittent {
+			return fmt.Errorf("semicont: BatchPolicy %q is incompatible with intermittent scheduling", p.BatchPolicy)
+		}
+		if p.PauseProb > 0 {
+			return fmt.Errorf("semicont: BatchPolicy %q is incompatible with viewer interactivity", p.BatchPolicy)
+		}
 	}
 	if len(p.Classes) > MaxTrafficClasses {
 		return fmt.Errorf("semicont: %d traffic classes exceed the limit of %d", len(p.Classes), MaxTrafficClasses)
